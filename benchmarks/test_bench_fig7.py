@@ -1,0 +1,39 @@
+"""Benchmark: Fig. 7 -- practical regret and beta-regret vs. the LLR policy.
+
+Regenerates the Fig. 7 comparison at a scaled-down size and checks the
+qualitative claims (positive practical regret, negative beta-regret,
+Algorithm 2 competitive with LLR).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import Fig7Config
+from repro.experiments.fig7_regret import format_fig7, run_fig7
+
+
+def test_fig7_experiment(benchmark):
+    """Regenerate the Fig. 7 regret comparison (scaled-down network)."""
+    config = Fig7Config(num_nodes=8, num_channels=3, num_rounds=80, r=1, seed=7)
+    result = benchmark.pedantic(run_fig7, args=(config,), rounds=1, iterations=1)
+    print("\n" + format_fig7(result))
+    for name in result.policies():
+        assert result.converged_practical_regret(name) > 0
+        assert result.converged_beta_regret(name) < 0
+
+
+def test_fig7_single_learning_round(benchmark, bench_network):
+    """Cost of one learning round of Algorithm 2 (decision + update)."""
+    from repro.api import ChannelAccessSystem
+
+    graph, extended, channels = bench_network
+    system = ChannelAccessSystem(graph, channels, seed=1)
+    policy = system.paper_policy(r=1)
+    optimal = system.optimal_value()
+
+    def one_round():
+        return system.simulate(policy, num_rounds=1, optimal_value=optimal)
+
+    result = benchmark(one_round)
+    assert result.num_rounds == 1

@@ -1,0 +1,39 @@
+"""Benchmark: Fig. 8 -- throughput under periodic (stale-weight) updates.
+
+Regenerates the Fig. 8 comparison (estimated vs. actual average effective
+throughput for several update periods, Algorithm 2 vs. LLR) at a scaled-down
+size and checks the paper's qualitative observations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import Fig8Config
+from repro.experiments.fig8_periodic import format_fig8, run_fig8
+
+
+def test_fig8_experiment(benchmark):
+    """Regenerate the Fig. 8 periodic-update comparison (scaled down)."""
+    config = Fig8Config(
+        num_nodes=12, num_channels=3, periods=(1, 5), num_periods=25, r=1, seed=5
+    )
+    result = benchmark.pedantic(run_fig8, args=(config,), rounds=1, iterations=1)
+    print("\n" + format_fig8(result))
+    for policy in result.policies():
+        assert result.final_actual(5, policy) > result.final_actual(1, policy)
+
+
+def test_fig8_periodic_round(benchmark, bench_network):
+    """Cost of one 5-slot update period (1 decision + 5 transmissions)."""
+    from repro.api import ChannelAccessSystem
+
+    graph, extended, channels = bench_network
+    system = ChannelAccessSystem(graph, channels, seed=2)
+    policy = system.paper_policy(r=1)
+
+    def one_period():
+        return system.simulate_periodic(policy, num_periods=1, period_slots=5)
+
+    result = benchmark(one_period)
+    assert result.num_periods == 1

@@ -1,0 +1,68 @@
+"""Ablation benchmark: MWIS solver choices on the same extended graph.
+
+DESIGN.md calls out the solver choice as the main design knob (Theorem 1 makes
+the regret guarantee degrade gracefully with the approximation ratio).  This
+bench compares, on the same weighted instance:
+
+* exact branch-and-bound (ground truth, exponential worst case),
+* greedy max-weight and GWMIN (constant-time, no guarantee / Delta+1),
+* the centralized robust PTAS (1 + epsilon),
+* the distributed robust PTAS (the paper's Algorithm 3).
+
+For each solver the benchmark reports runtime; the assertions record the
+achieved fraction of the exact optimum so the quality/runtime trade-off is
+visible in one run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributed.framework import DistributedMWISSolver
+from repro.mwis.exact import ExactMWISSolver
+from repro.mwis.greedy import GreedyMWISSolver, GreedyRatioMWISSolver
+from repro.mwis.robust_ptas import RobustPTASSolver
+
+
+@pytest.fixture(scope="module")
+def instance(bench_network):
+    graph, extended, channels = bench_network
+    return extended, extended.adjacency_sets(), channels.mean_vector()
+
+
+@pytest.fixture(scope="module")
+def exact_optimum(instance):
+    _, adjacency, weights = instance
+    return ExactMWISSolver().solve(adjacency, weights).weight
+
+
+def test_exact_solver(benchmark, instance):
+    _, adjacency, weights = instance
+    solution = benchmark(ExactMWISSolver().solve, adjacency, weights)
+    assert solution.weight > 0
+
+
+def test_greedy_max_weight_solver(benchmark, instance, exact_optimum):
+    _, adjacency, weights = instance
+    solution = benchmark(GreedyMWISSolver().solve, adjacency, weights)
+    assert solution.weight >= 0.5 * exact_optimum
+
+
+def test_greedy_ratio_solver(benchmark, instance, exact_optimum):
+    _, adjacency, weights = instance
+    solution = benchmark(GreedyRatioMWISSolver().solve, adjacency, weights)
+    assert solution.weight >= 0.5 * exact_optimum
+
+
+def test_robust_ptas_solver(benchmark, instance, exact_optimum):
+    _, adjacency, weights = instance
+    solver = RobustPTASSolver(epsilon=0.5)
+    solution = benchmark(solver.solve, adjacency, weights)
+    assert solution.weight >= exact_optimum / solver.rho - 1e-9
+
+
+def test_distributed_ptas_solver(benchmark, instance, exact_optimum):
+    extended, adjacency, weights = instance
+    solver = DistributedMWISSolver(extended, r=2)
+    solution = benchmark(solver.solve, adjacency, weights)
+    assert solution.weight >= 0.5 * exact_optimum

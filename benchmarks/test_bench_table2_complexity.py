@@ -1,0 +1,27 @@
+"""Benchmark: Table II report and the Section IV-C complexity measurements."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.complexity import format_complexity, run_complexity
+from repro.experiments.config import ComplexityConfig
+from repro.experiments.table2 import format_table2, table2_report
+
+
+def test_table2_report(benchmark):
+    """Regenerate the Table II constants and derived round structure."""
+    report = benchmark(table2_report)
+    print("\n" + format_table2())
+    assert report["theta"] == pytest.approx(0.5)
+    assert report["round_ta_ms"] == pytest.approx(2000.0)
+
+
+def test_complexity_measurements(benchmark):
+    """Measure messages / storage / local-instance sizes per round (E6)."""
+    result = benchmark.pedantic(
+        run_complexity, args=(ComplexityConfig.quick(),), rounds=1, iterations=1
+    )
+    print("\n" + format_complexity(result))
+    for record in result.records.values():
+        assert record["max_messages_per_vertex"] <= record["message_bound"]

@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Complexity report: check the Section IV-C claims experimentally.
+
+For a sweep of random networks this script runs one distributed strategy
+decision per network and reports, per vertex, the measured number of control
+messages, the stored neighbour weights and the largest local MWIS instance —
+next to the paper's theoretical bounds (O(r^2 + D) messages, O(m) space,
+local instances bounded by the (2r+1)-hop neighbourhood).
+
+Run:  python examples/complexity_report.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ComplexityConfig, format_complexity, run_complexity
+from repro.experiments.table2 import format_table2
+
+
+def main() -> None:
+    print("Round structure derived from Table II:")
+    print(format_table2())
+    print()
+    config = ComplexityConfig(
+        network_sizes=((20, 3), (40, 3), (80, 3), (40, 5), (80, 5)), r=2
+    )
+    print(
+        "Measuring per-round communication / space / computation costs "
+        f"on {len(config.network_sizes)} random networks (r = {config.r}) ..."
+    )
+    result = run_complexity(config)
+    print()
+    print(format_complexity(result))
+    print()
+    print(
+        "Note how the per-vertex message count and storage stay flat as the\n"
+        "network grows: they scale with the (2r+1)-hop neighbourhood, not with N."
+    )
+
+
+if __name__ == "__main__":
+    main()

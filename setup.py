@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The environment has no ``wheel`` package available offline, so PEP 517
+editable installs (which build a wheel) fail; this shim lets
+``pip install -e . --no-build-isolation`` fall back to the classic
+``setup.py develop`` code path.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,131 @@
+"""Command-line entry point for the experiment harness.
+
+Usage (after installing the package)::
+
+    python -m repro fig6 [--paper]
+    python -m repro fig7 [--paper] [--rounds N]
+    python -m repro fig8 [--paper] [--periods 1,5,10,20] [--updates N]
+    python -m repro table2
+    python -m repro complexity
+
+Every sub-command prints the same text tables/series as the corresponding
+``examples/`` script; ``--paper`` switches from the fast scaled-down
+configuration to the exact Section V parameters.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.experiments import (
+    ComplexityConfig,
+    Fig6Config,
+    Fig7Config,
+    Fig8Config,
+    format_complexity,
+    format_fig6,
+    format_fig7,
+    format_fig8,
+    format_table2,
+    run_complexity,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the evaluation of 'Almost Optimal Channel Access "
+        "in Multi-Hop Networks With Unknown Channel Variables' (ICDCS 2014).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    fig6 = subparsers.add_parser("fig6", help="Fig. 6: strategy-decision convergence")
+    fig6.add_argument("--paper", action="store_true", help="use the paper-scale networks")
+    fig6.add_argument("--seed", type=int, default=None, help="override the random seed")
+
+    fig7 = subparsers.add_parser("fig7", help="Fig. 7: practical regret vs. LLR")
+    fig7.add_argument("--paper", action="store_true", help="use the paper-scale network")
+    fig7.add_argument("--rounds", type=int, default=None, help="number of time slots")
+    fig7.add_argument("--seed", type=int, default=None, help="override the random seed")
+
+    fig8 = subparsers.add_parser("fig8", help="Fig. 8: periodic-update throughput")
+    fig8.add_argument("--paper", action="store_true", help="use the paper-scale network")
+    fig8.add_argument(
+        "--periods", type=str, default=None, help="comma-separated update periods"
+    )
+    fig8.add_argument("--updates", type=int, default=None, help="updates per period length")
+    fig8.add_argument("--seed", type=int, default=None, help="override the random seed")
+
+    subparsers.add_parser("table2", help="Table II: round timing parameters")
+
+    complexity = subparsers.add_parser(
+        "complexity", help="Section IV-C complexity measurements"
+    )
+    complexity.add_argument("--seed", type=int, default=None, help="override the random seed")
+    return parser
+
+
+def _replace(config, **overrides):
+    """dataclasses.replace that skips ``None`` overrides."""
+    from dataclasses import replace
+
+    return replace(config, **{k: v for k, v in overrides.items() if v is not None})
+
+
+def _run_fig6(args) -> str:
+    config = Fig6Config.paper() if args.paper else Fig6Config.quick()
+    config = _replace(config, seed=args.seed)
+    return format_fig6(run_fig6(config))
+
+
+def _run_fig7(args) -> str:
+    config = Fig7Config.paper() if args.paper else Fig7Config.quick()
+    config = _replace(config, seed=args.seed, num_rounds=args.rounds)
+    return format_fig7(run_fig7(config))
+
+
+def _run_fig8(args) -> str:
+    config = Fig8Config.paper() if args.paper else Fig8Config.quick()
+    periods = None
+    if args.periods is not None:
+        periods = tuple(int(part) for part in args.periods.split(",") if part.strip())
+        if not periods:
+            raise SystemExit("--periods must list at least one integer")
+    config = _replace(
+        config, seed=args.seed, num_periods=args.updates, periods=periods
+    )
+    return format_fig8(run_fig8(config))
+
+
+def _run_complexity(args) -> str:
+    config = ComplexityConfig.paper()
+    config = _replace(config, seed=args.seed)
+    return format_complexity(run_complexity(config))
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Run one experiment sub-command and print its report."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    handlers = {
+        "fig6": _run_fig6,
+        "fig7": _run_fig7,
+        "fig8": _run_fig8,
+        "table2": lambda _args: format_table2(),
+        "complexity": _run_complexity,
+    }
+    output = handlers[args.command](args)
+    print(output)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

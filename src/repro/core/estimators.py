@@ -1,0 +1,182 @@
+"""Per-arm weight estimation: sample means, play counts and the exploration
+index of eq. (3).
+
+The paper's learning policy maintains two length-``K`` vectors (Section IV-A):
+``mu_tilde`` — the observed mean of every arm (virtual vertex) so far — and
+``m`` — the number of times each arm has been played.  After the strategy of
+round ``t`` transmits, the observed rates update the vectors via eqs. (5)-(6),
+and the estimated weight used by the next strategy decision is
+
+    w_k(t + 1) = mu_tilde_k(t) + sqrt( max(ln(t^{2/3} K / m_k), 0) / m_k )
+
+(eq. (3)).  Arms never played get an infinite index so they are explored
+before any exploitation happens; callers that need finite weights (e.g. the
+MWIS solvers) can ask for a capped variant.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+__all__ = ["WeightEstimator"]
+
+
+class WeightEstimator:
+    """Sample-mean estimator with the paper's exploration bonus.
+
+    Parameters
+    ----------
+    num_arms:
+        Number of arms ``K = N * M``.
+    """
+
+    def __init__(self, num_arms: int) -> None:
+        if num_arms <= 0:
+            raise ValueError(f"num_arms must be positive, got {num_arms}")
+        self._num_arms = num_arms
+        self._means = np.zeros(num_arms, dtype=float)
+        self._counts = np.zeros(num_arms, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # State accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_arms(self) -> int:
+        """Number of arms ``K``."""
+        return self._num_arms
+
+    @property
+    def means(self) -> np.ndarray:
+        """Copy of the observed-mean vector ``mu_tilde``."""
+        return self._means.copy()
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Copy of the play-count vector ``m``."""
+        return self._counts.copy()
+
+    def mean(self, arm: int) -> float:
+        """Observed mean of one arm."""
+        self._check_arm(arm)
+        return float(self._means[arm])
+
+    def count(self, arm: int) -> int:
+        """Number of times one arm has been played."""
+        self._check_arm(arm)
+        return int(self._counts[arm])
+
+    @property
+    def total_plays(self) -> int:
+        """Total number of (arm, round) observations recorded."""
+        return int(self._counts.sum())
+
+    def _check_arm(self, arm: int) -> None:
+        if not (0 <= arm < self._num_arms):
+            raise ValueError(f"arm {arm} out of range [0, {self._num_arms})")
+
+    # ------------------------------------------------------------------
+    # Updates (eqs. (5) and (6))
+    # ------------------------------------------------------------------
+    def update(self, observations: Mapping[int, float]) -> None:
+        """Incorporate the observed rates of the arms played this round.
+
+        ``observations`` maps arm index to the observed value; arms not in the
+        mapping keep their statistics unchanged, exactly as in eqs. (5)-(6).
+        """
+        for arm, value in observations.items():
+            self._check_arm(arm)
+            count = self._counts[arm]
+            self._means[arm] = (self._means[arm] * count + float(value)) / (count + 1)
+            self._counts[arm] = count + 1
+
+    def reset(self) -> None:
+        """Forget every observation."""
+        self._means.fill(0.0)
+        self._counts.fill(0)
+
+    # ------------------------------------------------------------------
+    # Exploration indices
+    # ------------------------------------------------------------------
+    def exploration_bonus(self, round_index: int) -> np.ndarray:
+        """The additive bonus of eq. (3) for every arm.
+
+        Unplayed arms get ``inf``.  ``round_index`` is the 1-based round ``t``.
+        """
+        if round_index < 1:
+            raise ValueError(f"round_index must be >= 1, got {round_index}")
+        bonus = np.full(self._num_arms, np.inf, dtype=float)
+        played = self._counts > 0
+        counts = self._counts[played].astype(float)
+        if counts.size:
+            log_term = np.log((round_index ** (2.0 / 3.0)) * self._num_arms / counts)
+            bonus[played] = np.sqrt(np.maximum(log_term, 0.0) / counts)
+        return bonus
+
+    def index_weights(
+        self,
+        round_index: int,
+        cap: Optional[float] = None,
+        scale: float = 1.0,
+    ) -> np.ndarray:
+        """The estimated weights ``w_k(t+1)`` of eq. (3).
+
+        Parameters
+        ----------
+        round_index:
+            The 1-based round number ``t`` used in the bonus.
+        cap:
+            Optional finite replacement for the infinite index of unplayed
+            arms.  The MWIS solvers need finite weights, so policies pass a
+            cap larger than any achievable index (forcing unplayed arms to be
+            scheduled whenever feasible) — the default used by the policies is
+            ``1 + max finite index``.
+        scale:
+            Multiplier applied to the exploration bonus.  The paper's analysis
+            assumes rewards in ``[0, 1]``; when rewards are expressed in kbps
+            (as in the Section V experiments) the bonus must be scaled by the
+            reward range for exploration to remain meaningful.
+        """
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        weights = self._means + scale * self.exploration_bonus(round_index)
+        if cap is None:
+            return weights
+        return np.minimum(weights, cap)
+
+    def llr_index_weights(
+        self,
+        round_index: int,
+        strategy_length: int,
+        scale: float = 1.0,
+    ) -> np.ndarray:
+        """The LLR index of Gai, Krishnamachari and Jain (reference [11]):
+
+            w_k = mu_tilde_k + sqrt((L + 1) * ln t / m_k)
+
+        where ``L`` is the maximum strategy length.  Unplayed arms get ``inf``.
+        ``scale`` plays the same role as in :meth:`index_weights`.
+        """
+        if round_index < 1:
+            raise ValueError(f"round_index must be >= 1, got {round_index}")
+        if strategy_length < 1:
+            raise ValueError(
+                f"strategy_length must be >= 1, got {strategy_length}"
+            )
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        weights = np.full(self._num_arms, np.inf, dtype=float)
+        played = self._counts > 0
+        counts = self._counts[played].astype(float)
+        if counts.size:
+            bonus = np.sqrt(
+                (strategy_length + 1.0) * math.log(max(round_index, 2)) / counts
+            )
+            weights[played] = self._means[played] + scale * bonus
+        return weights
+
+    def snapshot(self) -> Dict[str, np.ndarray]:
+        """Copies of the internal vectors (for logging and tests)."""
+        return {"means": self.means, "counts": self.counts}

@@ -1,0 +1,207 @@
+"""Non-stationary extensions: sliding-window learning and the dynamic oracle.
+
+The paper minimises *weak* regret against the best **static** channel
+allocation and lists two harder targets as future work (Section VII):
+adversarially generated gains, and *strong* regret against the best
+**dynamic** policy.  This module provides the building blocks for exploring
+that direction on top of the existing machinery:
+
+* :class:`SlidingWindowEstimator` — the per-arm estimator of eq. (5)-(6)
+  restricted to the last ``window`` observations of each arm, which is the
+  standard first defence against drifting channel statistics;
+* :class:`SlidingWindowUCBPolicy` — the paper's policy with the sliding-window
+  estimator plugged in;
+* :class:`DynamicOraclePolicy` — the strong-regret comparator: a genie that
+  re-solves the MWIS with the *current* true means every round (useful when
+  the channel state is itself time varying, e.g. Gilbert-Elliott channels).
+
+These are extensions beyond the paper's evaluation; they are exercised by the
+``examples/nonstationary_channels.py`` study and the unit tests, not by the
+figure-reproduction harness.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.core.policies import Policy
+from repro.core.strategy import Strategy
+from repro.graph.extended import ExtendedConflictGraph
+from repro.mwis.base import MWISSolver
+from repro.mwis.exact import ExactMWISSolver
+
+__all__ = [
+    "SlidingWindowEstimator",
+    "SlidingWindowUCBPolicy",
+    "DynamicOraclePolicy",
+]
+
+
+class SlidingWindowEstimator:
+    """Per-arm sample means over a sliding window of recent observations.
+
+    Keeps at most ``window`` observations per arm; the mean and count exposed
+    to the exploration index are computed over that window only, so estimates
+    track non-stationary channels at the cost of higher variance.
+    """
+
+    def __init__(self, num_arms: int, window: int) -> None:
+        if num_arms <= 0:
+            raise ValueError(f"num_arms must be positive, got {num_arms}")
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self._num_arms = num_arms
+        self._window = window
+        self._history: Dict[int, Deque[float]] = {
+            arm: deque(maxlen=window) for arm in range(num_arms)
+        }
+
+    @property
+    def num_arms(self) -> int:
+        """Number of arms ``K``."""
+        return self._num_arms
+
+    @property
+    def window(self) -> int:
+        """Maximum number of retained observations per arm."""
+        return self._window
+
+    def update(self, observations: Mapping[int, float]) -> None:
+        """Append the observed rates of the arms played this round."""
+        for arm, value in observations.items():
+            if not (0 <= arm < self._num_arms):
+                raise ValueError(f"arm {arm} out of range [0, {self._num_arms})")
+            self._history[arm].append(float(value))
+
+    def reset(self) -> None:
+        """Forget every observation."""
+        for history in self._history.values():
+            history.clear()
+
+    @property
+    def means(self) -> np.ndarray:
+        """Windowed sample mean per arm (0 for arms without observations)."""
+        values = np.zeros(self._num_arms, dtype=float)
+        for arm, history in self._history.items():
+            if history:
+                values[arm] = float(np.mean(history))
+        return values
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Number of retained observations per arm."""
+        return np.array(
+            [len(self._history[arm]) for arm in range(self._num_arms)], dtype=np.int64
+        )
+
+    def index_weights(self, round_index: int, scale: float = 1.0) -> np.ndarray:
+        """Eq. (3) index computed over the windowed statistics.
+
+        Unplayed arms get ``inf`` exactly as in the stationary estimator.
+        """
+        if round_index < 1:
+            raise ValueError(f"round_index must be >= 1, got {round_index}")
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        counts = self.counts
+        weights = np.full(self._num_arms, np.inf, dtype=float)
+        played = counts > 0
+        if played.any():
+            effective_counts = counts[played].astype(float)
+            log_term = np.log(
+                (round_index ** (2.0 / 3.0)) * self._num_arms / effective_counts
+            )
+            bonus = np.sqrt(np.maximum(log_term, 0.0) / effective_counts)
+            weights[played] = self.means[played] + scale * bonus
+        return weights
+
+
+class SlidingWindowUCBPolicy(Policy):
+    """The paper's combinatorial UCB policy with sliding-window estimation."""
+
+    name = "sliding-window-ucb"
+
+    def __init__(
+        self,
+        graph: ExtendedConflictGraph,
+        window: int,
+        solver: Optional[MWISSolver] = None,
+        reward_scale: float = 1.0,
+    ) -> None:
+        super().__init__(graph)
+        if reward_scale <= 0:
+            raise ValueError(f"reward_scale must be positive, got {reward_scale}")
+        self._solver = solver if solver is not None else ExactMWISSolver()
+        self._estimator = SlidingWindowEstimator(graph.num_vertices, window)
+        self._reward_scale = float(reward_scale)
+
+    @property
+    def estimator(self) -> SlidingWindowEstimator:
+        """The windowed per-arm estimator."""
+        return self._estimator
+
+    def estimated_weights(self, round_index: int) -> np.ndarray:
+        """The (finite) windowed index weights used this round."""
+        raw = self._estimator.index_weights(round_index, scale=self._reward_scale)
+        return self._finite_weights(raw)
+
+    def select_strategy(self, round_index: int) -> Strategy:
+        weights = self.estimated_weights(round_index)
+        return self._strategy_from_weights(self._solver, weights)
+
+    def observe(
+        self,
+        round_index: int,
+        strategy: Strategy,
+        observations: Mapping[int, float],
+    ) -> None:
+        self._estimator.update(observations)
+
+    def reset(self) -> None:
+        self._estimator.reset()
+        reset = getattr(self._solver, "reset", None)
+        if callable(reset):
+            reset()
+
+
+class DynamicOraclePolicy(Policy):
+    """Strong-regret comparator: re-optimises with the current true means.
+
+    ``means_provider`` maps the 1-based round index to the flat true-mean
+    vector of that round.  For stationary channels this degenerates to the
+    static oracle; for time-varying channels it is the best dynamic policy the
+    paper's future-work section talks about.
+    """
+
+    name = "dynamic-oracle"
+
+    def __init__(
+        self,
+        graph: ExtendedConflictGraph,
+        means_provider: Callable[[int], Sequence[float]],
+        solver: Optional[MWISSolver] = None,
+    ) -> None:
+        super().__init__(graph)
+        self._means_provider = means_provider
+        self._solver = solver if solver is not None else ExactMWISSolver()
+
+    def select_strategy(self, round_index: int) -> Strategy:
+        means = np.asarray(self._means_provider(round_index), dtype=float)
+        if means.shape[0] != self._graph.num_vertices:
+            raise ValueError(
+                f"means provider returned {means.shape[0]} values but H has "
+                f"{self._graph.num_vertices} vertices"
+            )
+        return self._strategy_from_weights(self._solver, means)
+
+    def observe(
+        self,
+        round_index: int,
+        strategy: Strategy,
+        observations: Mapping[int, float],
+    ) -> None:
+        # The genie has nothing to learn.
+        return None

@@ -1,0 +1,497 @@
+"""Learning policies for multi-hop channel access.
+
+All policies share the same interaction loop driven by the simulator:
+
+1. ``select_strategy(t)`` returns a feasible strategy (an independent set of
+   the extended conflict graph, expressed as a ``{node: channel}`` map);
+2. the environment reveals the data rate of every (node, channel) pair that
+   transmitted;
+3. ``observe(t, strategy, observations)`` feeds those observations back.
+
+The paper's policy (:class:`CombinatorialUCBPolicy`) learns per-arm statistics
+and delegates the per-round combinatorial optimisation to an
+:class:`~repro.mwis.base.MWISSolver` — exact, robust PTAS or the distributed
+protocol — which is precisely how Theorem 1 decouples the regret guarantee
+from the approximation ratio of the solver.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Dict, List, Mapping, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.core.estimators import WeightEstimator
+from repro.core.strategy import Strategy
+from repro.graph.extended import ExtendedConflictGraph
+from repro.mwis.base import MWISSolver
+from repro.mwis.exact import ExactMWISSolver
+
+__all__ = [
+    "Policy",
+    "CombinatorialUCBPolicy",
+    "LLRPolicy",
+    "NaiveStrategyUCBPolicy",
+    "OraclePolicy",
+    "RandomPolicy",
+    "EpsilonGreedyPolicy",
+]
+
+
+class Policy(abc.ABC):
+    """Base class of every channel-access policy.
+
+    Parameters
+    ----------
+    graph:
+        The extended conflict graph ``H`` the policy plays on.
+    """
+
+    #: Human-readable policy name used in experiment reports.
+    name: str = "policy"
+
+    def __init__(self, graph: ExtendedConflictGraph) -> None:
+        self._graph = graph
+        self._adjacency = graph.adjacency_sets()
+
+    @property
+    def graph(self) -> ExtendedConflictGraph:
+        """The extended conflict graph the policy operates on."""
+        return self._graph
+
+    @abc.abstractmethod
+    def select_strategy(self, round_index: int) -> Strategy:
+        """Return the strategy to play in round ``round_index`` (1-based)."""
+
+    @abc.abstractmethod
+    def observe(
+        self,
+        round_index: int,
+        strategy: Strategy,
+        observations: Mapping[int, float],
+    ) -> None:
+        """Feed back the observed rates of the played arms.
+
+        ``observations`` maps flat arm indices (vertices of ``H``) to the
+        observed data rate of that (node, channel) pair this round.
+        """
+
+    def reset(self) -> None:
+        """Forget all learned state (default: nothing to forget)."""
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def _strategy_from_weights(
+        self, solver: MWISSolver, weights: Sequence[float]
+    ) -> Strategy:
+        """Solve the weighted MWIS instance and convert the result."""
+        solution = solver.solve(self._adjacency, weights)
+        return Strategy.from_independent_set(self._graph, solution.vertices)
+
+    @staticmethod
+    def _finite_weights(weights: np.ndarray) -> np.ndarray:
+        """Replace infinite exploration indices by a dominating finite value.
+
+        MWIS solvers need finite weights; unplayed arms must still dominate
+        every played arm so they are scheduled whenever feasible.
+        """
+        finite_mask = np.isfinite(weights)
+        if finite_mask.all():
+            return weights
+        finite_values = weights[finite_mask]
+        top = float(finite_values.max()) if finite_values.size else 1.0
+        replacement = max(top, 1.0) * 2.0 + 1.0
+        capped = weights.copy()
+        capped[~finite_mask] = replacement
+        return capped
+
+
+class CombinatorialUCBPolicy(Policy):
+    """The paper's learning policy (Algorithm 1 + eq. (3), (5), (6)).
+
+    Per-arm statistics only: storage and per-round update cost are both
+    ``O(K)`` with ``K = N * M``, and the per-round decision is one MWIS solve
+    on the estimated weights.
+
+    Parameters
+    ----------
+    graph:
+        The extended conflict graph ``H``.
+    solver:
+        The MWIS solver used for the strategy decision.  Pass an
+        :class:`~repro.distributed.framework.DistributedMWISSolver` to run the
+        full distributed scheme (Algorithm 2), an exact solver for ground
+        truth, or the centralized robust PTAS.
+    reward_scale:
+        Multiplier applied to the exploration bonus.  The regret analysis
+        assumes rewards in ``[0, 1]``; when rewards are expressed in physical
+        units (kbps in the paper's Section V), pass the reward range (e.g. the
+        maximum catalogue rate) so exploration stays meaningful.
+    """
+
+    name = "combinatorial-ucb"
+
+    def __init__(
+        self,
+        graph: ExtendedConflictGraph,
+        solver: Optional[MWISSolver] = None,
+        reward_scale: float = 1.0,
+    ) -> None:
+        super().__init__(graph)
+        if reward_scale <= 0:
+            raise ValueError(f"reward_scale must be positive, got {reward_scale}")
+        self._solver = solver if solver is not None else ExactMWISSolver()
+        self._estimator = WeightEstimator(graph.num_vertices)
+        self._reward_scale = float(reward_scale)
+
+    @property
+    def estimator(self) -> WeightEstimator:
+        """The per-arm estimator (exposed for tests and reporting)."""
+        return self._estimator
+
+    @property
+    def solver(self) -> MWISSolver:
+        """The MWIS solver used for strategy decisions."""
+        return self._solver
+
+    @property
+    def reward_scale(self) -> float:
+        """The exploration-bonus scale (reward range)."""
+        return self._reward_scale
+
+    def estimated_weights(self, round_index: int) -> np.ndarray:
+        """The (finite) index weights handed to the MWIS solver this round."""
+        raw = self._estimator.index_weights(round_index, scale=self._reward_scale)
+        return self._finite_weights(raw)
+
+    def select_strategy(self, round_index: int) -> Strategy:
+        weights = self.estimated_weights(round_index)
+        return self._strategy_from_weights(self._solver, weights)
+
+    def observe(
+        self,
+        round_index: int,
+        strategy: Strategy,
+        observations: Mapping[int, float],
+    ) -> None:
+        self._estimator.update(observations)
+
+    def reset(self) -> None:
+        self._estimator.reset()
+        reset = getattr(self._solver, "reset", None)
+        if callable(reset):
+            reset()
+
+
+class LLRPolicy(Policy):
+    """The LLR baseline of Gai, Krishnamachari and Jain (reference [11]).
+
+    Identical structure to the paper's policy but with the index
+    ``mu_tilde_k + sqrt((L + 1) ln t / m_k)`` where ``L`` is the maximum
+    strategy length (at most ``N``).  The paper compares against this policy
+    in Figs. 7 and 8.
+    """
+
+    name = "llr"
+
+    def __init__(
+        self,
+        graph: ExtendedConflictGraph,
+        solver: Optional[MWISSolver] = None,
+        strategy_length: Optional[int] = None,
+        reward_scale: float = 1.0,
+    ) -> None:
+        super().__init__(graph)
+        if reward_scale <= 0:
+            raise ValueError(f"reward_scale must be positive, got {reward_scale}")
+        self._solver = solver if solver is not None else ExactMWISSolver()
+        self._estimator = WeightEstimator(graph.num_vertices)
+        self._strategy_length = (
+            strategy_length if strategy_length is not None else graph.num_nodes
+        )
+        if self._strategy_length < 1:
+            raise ValueError(
+                f"strategy_length must be >= 1, got {self._strategy_length}"
+            )
+        self._reward_scale = float(reward_scale)
+
+    @property
+    def estimator(self) -> WeightEstimator:
+        """The per-arm estimator (exposed for tests and reporting)."""
+        return self._estimator
+
+    @property
+    def reward_scale(self) -> float:
+        """The exploration-bonus scale (reward range)."""
+        return self._reward_scale
+
+    def estimated_weights(self, round_index: int) -> np.ndarray:
+        """The (finite) LLR index weights used this round."""
+        raw = self._estimator.llr_index_weights(
+            round_index, self._strategy_length, scale=self._reward_scale
+        )
+        return self._finite_weights(raw)
+
+    def select_strategy(self, round_index: int) -> Strategy:
+        weights = self.estimated_weights(round_index)
+        return self._strategy_from_weights(self._solver, weights)
+
+    def observe(
+        self,
+        round_index: int,
+        strategy: Strategy,
+        observations: Mapping[int, float],
+    ) -> None:
+        self._estimator.update(observations)
+
+    def reset(self) -> None:
+        self._estimator.reset()
+        reset = getattr(self._solver, "reset", None)
+        if callable(reset):
+            reset()
+
+
+class NaiveStrategyUCBPolicy(Policy):
+    """Strategy-level UCB1: the exponential-complexity naive formulation.
+
+    Every *maximal* independent set of ``H`` is treated as one arm and learned
+    with UCB1.  Storage and per-round time are linear in the number of
+    strategies, which grows exponentially with ``N`` — exactly the blow-up the
+    paper's formulation avoids.  Only usable on small networks; the
+    constructor refuses instances with more than ``max_strategies`` maximal
+    independent sets.
+    """
+
+    name = "naive-strategy-ucb"
+
+    def __init__(
+        self, graph: ExtendedConflictGraph, max_strategies: int = 20000
+    ) -> None:
+        super().__init__(graph)
+        if max_strategies <= 0:
+            raise ValueError(f"max_strategies must be positive, got {max_strategies}")
+        self._strategies = _enumerate_maximal_independent_sets(
+            self._adjacency, max_count=max_strategies
+        )
+        if not self._strategies:
+            raise ValueError("the graph admits no feasible strategy")
+        self._num_strategies = len(self._strategies)
+        self._sums = np.zeros(self._num_strategies, dtype=float)
+        self._counts = np.zeros(self._num_strategies, dtype=np.int64)
+        self._last_played: Optional[int] = None
+
+    @property
+    def num_strategies(self) -> int:
+        """Number of enumerated strategy arms."""
+        return self._num_strategies
+
+    def select_strategy(self, round_index: int) -> Strategy:
+        unplayed = np.flatnonzero(self._counts == 0)
+        if unplayed.size:
+            chosen = int(unplayed[0])
+        else:
+            means = self._sums / self._counts
+            bonus = np.sqrt(2.0 * math.log(max(round_index, 2)) / self._counts)
+            chosen = int(np.argmax(means + bonus))
+        self._last_played = chosen
+        return Strategy.from_independent_set(self._graph, self._strategies[chosen])
+
+    def observe(
+        self,
+        round_index: int,
+        strategy: Strategy,
+        observations: Mapping[int, float],
+    ) -> None:
+        if self._last_played is None:
+            raise RuntimeError("observe() called before select_strategy()")
+        reward = float(sum(observations.values()))
+        self._sums[self._last_played] += reward
+        self._counts[self._last_played] += 1
+
+    def reset(self) -> None:
+        self._sums.fill(0.0)
+        self._counts.fill(0)
+        self._last_played = None
+
+
+class OraclePolicy(Policy):
+    """Genie policy: plays the optimum strategy for the *true* means.
+
+    This is the static benchmark ``R_1`` the regret definition (eq. (1))
+    compares against.  The MWIS instance is solved once and cached.
+    """
+
+    name = "oracle"
+
+    def __init__(
+        self,
+        graph: ExtendedConflictGraph,
+        true_means: Sequence[float],
+        solver: Optional[MWISSolver] = None,
+    ) -> None:
+        super().__init__(graph)
+        if len(true_means) != graph.num_vertices:
+            raise ValueError(
+                f"true_means has length {len(true_means)} but H has "
+                f"{graph.num_vertices} vertices"
+            )
+        self._true_means = np.asarray(true_means, dtype=float)
+        self._solver = solver if solver is not None else ExactMWISSolver()
+        self._cached: Optional[Strategy] = None
+
+    def optimal_strategy(self) -> Strategy:
+        """The optimal fixed strategy under the true means."""
+        if self._cached is None:
+            self._cached = self._strategy_from_weights(self._solver, self._true_means)
+        return self._cached
+
+    def optimal_value(self) -> float:
+        """The optimal expected per-round throughput ``R_1``."""
+        strategy = self.optimal_strategy()
+        return float(
+            sum(
+                self._true_means[self._graph.vertex_index(node, channel)]
+                for node, channel in strategy
+            )
+        )
+
+    def select_strategy(self, round_index: int) -> Strategy:
+        return self.optimal_strategy()
+
+    def observe(
+        self,
+        round_index: int,
+        strategy: Strategy,
+        observations: Mapping[int, float],
+    ) -> None:
+        # The genie has nothing to learn.
+        return None
+
+
+class RandomPolicy(Policy):
+    """Plays a uniformly random *maximal* independent set every round."""
+
+    name = "random"
+
+    def __init__(
+        self, graph: ExtendedConflictGraph, rng: Optional[np.random.Generator] = None
+    ) -> None:
+        super().__init__(graph)
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    def select_strategy(self, round_index: int) -> Strategy:
+        order = self._rng.permutation(self._graph.num_vertices)
+        chosen: Set[int] = set()
+        blocked: Set[int] = set()
+        for vertex in order:
+            vertex = int(vertex)
+            if vertex in blocked:
+                continue
+            chosen.add(vertex)
+            blocked.add(vertex)
+            blocked |= self._adjacency[vertex]
+        return Strategy.from_independent_set(self._graph, chosen)
+
+    def observe(
+        self,
+        round_index: int,
+        strategy: Strategy,
+        observations: Mapping[int, float],
+    ) -> None:
+        return None
+
+
+class EpsilonGreedyPolicy(Policy):
+    """Epsilon-greedy baseline over the same per-arm estimator.
+
+    With probability ``epsilon`` a random maximal independent set is played;
+    otherwise the MWIS under the current sample means (no exploration bonus).
+    Included as an ablation of the exploration index.
+    """
+
+    name = "epsilon-greedy"
+
+    def __init__(
+        self,
+        graph: ExtendedConflictGraph,
+        epsilon: float = 0.1,
+        solver: Optional[MWISSolver] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__(graph)
+        if not (0.0 <= epsilon <= 1.0):
+            raise ValueError(f"epsilon must be in [0, 1], got {epsilon}")
+        self._epsilon = float(epsilon)
+        self._solver = solver if solver is not None else ExactMWISSolver()
+        self._estimator = WeightEstimator(graph.num_vertices)
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._random_policy = RandomPolicy(graph, rng=self._rng)
+
+    @property
+    def estimator(self) -> WeightEstimator:
+        """The per-arm estimator (exposed for tests and reporting)."""
+        return self._estimator
+
+    def select_strategy(self, round_index: int) -> Strategy:
+        if self._rng.random() < self._epsilon:
+            return self._random_policy.select_strategy(round_index)
+        means = self._estimator.means
+        if not means.any():
+            # Nothing learned yet: explore.
+            return self._random_policy.select_strategy(round_index)
+        return self._strategy_from_weights(self._solver, means)
+
+    def observe(
+        self,
+        round_index: int,
+        strategy: Strategy,
+        observations: Mapping[int, float],
+    ) -> None:
+        self._estimator.update(observations)
+
+    def reset(self) -> None:
+        self._estimator.reset()
+
+
+def _enumerate_maximal_independent_sets(
+    adjacency: Sequence[Set[int]], max_count: int
+) -> List[frozenset]:
+    """Enumerate the maximal independent sets of a graph.
+
+    Uses the complement-graph Bron-Kerbosch idea expressed directly on
+    independent sets: recursively extend the current set with eligible
+    vertices, recording sets that cannot be extended.  Raises ``ValueError``
+    as soon as ``max_count`` distinct maximal sets have been found, because
+    the naive strategy-space formulation this feeds is only meant for small
+    instances.
+    """
+    n = len(adjacency)
+    results: List[frozenset] = []
+
+    def extend(current: Set[int], candidates: Set[int], excluded: Set[int]) -> None:
+        # Bron-Kerbosch on the complement graph: a vertex u extends the
+        # current independent set exactly when it is NOT adjacent to any
+        # chosen vertex, so the "complement neighbourhood" of v is
+        # ``all vertices - adjacency[v] - {v}``.
+        if not candidates and not excluded:
+            if len(results) >= max_count:
+                raise ValueError(
+                    f"more than {max_count} maximal independent sets; the naive "
+                    "strategy-level formulation is intractable for this graph"
+                )
+            results.append(frozenset(current))
+            return
+        for vertex in sorted(candidates):
+            extend(
+                current | {vertex},
+                candidates - adjacency[vertex] - {vertex},
+                excluded - adjacency[vertex] - {vertex},
+            )
+            candidates = candidates - {vertex}
+            excluded = excluded | {vertex}
+
+    extend(set(), set(range(n)), set())
+    return sorted(results, key=lambda s: sorted(s))

@@ -1,0 +1,71 @@
+"""Distributed protocol substrate.
+
+Implements the distributed strategy-decision machinery of the paper:
+
+* :mod:`repro.distributed.messages` -- control messages exchanged on the
+  common control channel (weight broadcast, LocalLeader declaration, status
+  determination).
+* :mod:`repro.distributed.network` -- a synchronous message-passing simulator
+  with k-hop broadcast and per-vertex cost accounting.
+* :mod:`repro.distributed.vertex` -- per-vertex protocol state (statuses
+  Candidate / LocalLeader / Winner / Loser and local knowledge).
+* :mod:`repro.distributed.ptas` -- the distributed robust PTAS (Algorithm 3).
+* :mod:`repro.distributed.framework` -- the per-round strategy decision
+  wrapper used by Algorithm 2, exposing the :class:`repro.mwis.MWISSolver`
+  interface so learning policies can plug it in transparently.
+* :mod:`repro.distributed.costs` -- communication / computation / space cost
+  accounting and the paper's theoretical bounds.
+"""
+
+from repro.distributed.messages import (
+    Message,
+    WeightBroadcast,
+    LeaderDeclaration,
+    StatusDetermination,
+)
+from repro.distributed.network import MessageNetwork
+from repro.distributed.vertex import VertexStatus, VertexAgent
+from repro.distributed.ptas import (
+    DistributedRobustPTAS,
+    MiniRoundRecord,
+    ProtocolResult,
+)
+from repro.distributed.framework import DistributedMWISSolver
+from repro.distributed.backbone import (
+    greedy_dominating_set,
+    greedy_connected_dominating_set,
+    is_dominating_set,
+    pipelined_broadcast_timeslots,
+)
+from repro.distributed.costs import (
+    CommunicationCosts,
+    ComputationCosts,
+    RoundCosts,
+    theoretical_message_bound,
+    theoretical_space_bound,
+    theoretical_enumeration_bound,
+)
+
+__all__ = [
+    "Message",
+    "WeightBroadcast",
+    "LeaderDeclaration",
+    "StatusDetermination",
+    "MessageNetwork",
+    "VertexStatus",
+    "VertexAgent",
+    "DistributedRobustPTAS",
+    "MiniRoundRecord",
+    "ProtocolResult",
+    "DistributedMWISSolver",
+    "greedy_dominating_set",
+    "greedy_connected_dominating_set",
+    "is_dominating_set",
+    "pipelined_broadcast_timeslots",
+    "CommunicationCosts",
+    "ComputationCosts",
+    "RoundCosts",
+    "theoretical_message_bound",
+    "theoretical_space_bound",
+    "theoretical_enumeration_bound",
+]

@@ -1,0 +1,77 @@
+"""Control-channel messages of the distributed protocol.
+
+The paper assumes a common control channel for control message passing during
+strategy decision (Section IV).  Three message types are exchanged per round
+(Fig. 2):
+
+* ``WB`` -- weight broadcast: vertices that transmitted in the previous round
+  announce their updated estimated weight within ``(2r + 1)`` hops.
+* ``LD`` -- LocalLeader declaration: a Candidate that is locally maximum
+  declares itself within ``(2r + 1)`` hops.
+* ``LB`` -- local broadcast of status determinations: the LocalLeader
+  announces Winner / Loser decisions for its r-hop candidates (and the
+  Winners' direct neighbours) within ``(3r + 2)`` hops.
+
+Each message carries its hop budget so the message network can both deliver
+it to the right recipients and account mini-timeslots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+__all__ = ["Message", "WeightBroadcast", "LeaderDeclaration", "StatusDetermination"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class of all control messages.
+
+    ``sender`` is a vertex id of the extended conflict graph ``H`` and
+    ``hop_limit`` the broadcast radius in hops of ``H``.
+    """
+
+    sender: int
+    hop_limit: int
+
+    def payload_size(self) -> int:
+        """Abstract payload size in scalar fields, used for cost accounting."""
+        return 1
+
+
+@dataclass(frozen=True)
+class WeightBroadcast(Message):
+    """A vertex announces its freshly updated estimated weight (WB phase)."""
+
+    weight: float = 0.0
+
+    def payload_size(self) -> int:
+        return 1
+
+
+@dataclass(frozen=True)
+class LeaderDeclaration(Message):
+    """A Candidate declares itself LocalLeader for this mini-round (LD phase)."""
+
+    weight: float = 0.0
+    mini_round: int = 0
+
+    def payload_size(self) -> int:
+        return 2
+
+
+@dataclass(frozen=True)
+class StatusDetermination(Message):
+    """A LocalLeader announces Winner / Loser decisions (LB phase).
+
+    ``decisions`` maps vertex ids of ``A_r(leader)`` to ``True`` (Winner) or
+    ``False`` (Loser).  The leader itself appears in the map as well.
+    """
+
+    decisions: Mapping[int, bool] = field(default_factory=dict)
+    mini_round: int = 0
+
+    def payload_size(self) -> int:
+        # One (vertex id, decision bit) pair per determined vertex.
+        return max(1, len(self.decisions))

@@ -1,0 +1,139 @@
+"""Synchronous message-passing simulation on the extended conflict graph.
+
+The real system relays control messages hop by hop on a common control
+channel; here we simulate the outcome of that relay: a k-hop broadcast from
+vertex ``v`` is delivered to the inbox of every vertex within ``k`` hops of
+``v`` in ``H``.  The network also keeps the cost counters the paper's
+complexity analysis talks about:
+
+* messages originated per vertex (communication complexity ``O(r^2 + D)``),
+* total deliveries (network load), and
+* mini-timeslots consumed per protocol phase (``O((2r+1)^2)`` for WB,
+  ``O(2r+1)`` for LD and ``O(3r+1)`` for LB, Section IV-C).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.distributed.messages import Message
+from repro.graph.neighborhoods import r_hop_neighborhood
+
+__all__ = ["MessageNetwork"]
+
+
+class MessageNetwork:
+    """Delivers k-hop broadcasts between vertex agents and counts their cost.
+
+    Parameters
+    ----------
+    adjacency:
+        Adjacency sets of the extended conflict graph ``H``.
+    precomputed_neighborhoods:
+        Optional cache mapping hop radius -> list of neighbourhood sets per
+        vertex.  The distributed PTAS passes its own cache so neighbourhoods
+        are computed once per topology rather than once per round.
+    """
+
+    def __init__(
+        self,
+        adjacency: Sequence[Set[int]],
+        precomputed_neighborhoods: Optional[Dict[int, List[Set[int]]]] = None,
+    ) -> None:
+        self._adjacency = adjacency
+        self._num_vertices = len(adjacency)
+        self._neighborhood_cache: Dict[int, List[Set[int]]] = (
+            dict(precomputed_neighborhoods) if precomputed_neighborhoods else {}
+        )
+        self._inboxes: List[List[Message]] = [[] for _ in range(self._num_vertices)]
+        self._messages_sent: List[int] = [0] * self._num_vertices
+        self._deliveries = 0
+        self._mini_timeslots: Dict[str, int] = defaultdict(int)
+
+    # ------------------------------------------------------------------
+    # Neighbourhood handling
+    # ------------------------------------------------------------------
+    def _neighborhood(self, vertex: int, hops: int) -> Set[int]:
+        cache = self._neighborhood_cache.get(hops)
+        if cache is None:
+            cache = [
+                r_hop_neighborhood(self._adjacency, v, hops)
+                for v in range(self._num_vertices)
+            ]
+            self._neighborhood_cache[hops] = cache
+        return cache[vertex]
+
+    # ------------------------------------------------------------------
+    # Broadcast and delivery
+    # ------------------------------------------------------------------
+    def broadcast(self, message: Message, phase: str) -> int:
+        """Deliver ``message`` to every vertex within its hop limit.
+
+        Returns the number of recipients (excluding the sender).  ``phase``
+        labels the protocol phase (``"WB"``, ``"LD"`` or ``"LB"``) for the
+        mini-timeslot accounting.
+        """
+        sender = message.sender
+        if not (0 <= sender < self._num_vertices):
+            raise ValueError(
+                f"sender {sender} out of range [0, {self._num_vertices})"
+            )
+        if message.hop_limit < 0:
+            raise ValueError(f"hop_limit must be non-negative, got {message.hop_limit}")
+        recipients = self._neighborhood(sender, message.hop_limit) - {sender}
+        for recipient in recipients:
+            self._inboxes[recipient].append(message)
+        self._messages_sent[sender] += 1
+        self._deliveries += len(recipients)
+        # A k-hop flood needs O(k) mini-timeslots to propagate.
+        self._mini_timeslots[phase] += max(1, message.hop_limit)
+        return len(recipients)
+
+    def collect(self, vertex: int) -> List[Message]:
+        """Drain and return the inbox of ``vertex``."""
+        if not (0 <= vertex < self._num_vertices):
+            raise ValueError(f"vertex {vertex} out of range [0, {self._num_vertices})")
+        inbox = self._inboxes[vertex]
+        self._inboxes[vertex] = []
+        return inbox
+
+    def pending(self, vertex: int) -> int:
+        """Number of undelivered messages waiting for ``vertex``."""
+        return len(self._inboxes[vertex])
+
+    # ------------------------------------------------------------------
+    # Cost accounting
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices the network connects."""
+        return self._num_vertices
+
+    def messages_sent(self, vertex: Optional[int] = None):
+        """Messages originated by ``vertex`` (or the per-vertex list)."""
+        if vertex is None:
+            return list(self._messages_sent)
+        return self._messages_sent[vertex]
+
+    @property
+    def total_messages_sent(self) -> int:
+        """Total number of broadcasts originated by any vertex."""
+        return sum(self._messages_sent)
+
+    @property
+    def total_deliveries(self) -> int:
+        """Total number of (message, recipient) deliveries."""
+        return self._deliveries
+
+    def mini_timeslots(self, phase: Optional[str] = None) -> int:
+        """Mini-timeslots consumed, optionally restricted to one phase."""
+        if phase is not None:
+            return self._mini_timeslots.get(phase, 0)
+        return sum(self._mini_timeslots.values())
+
+    def reset_costs(self) -> None:
+        """Zero all counters (inboxes are left untouched)."""
+        self._messages_sent = [0] * self._num_vertices
+        self._deliveries = 0
+        self._mini_timeslots = defaultdict(int)

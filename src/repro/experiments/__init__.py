@@ -1,0 +1,46 @@
+"""Experiment harness reproducing the paper's evaluation (Section V).
+
+Every table and figure of the paper has a module here:
+
+* :mod:`repro.experiments.fig6_convergence` -- Fig. 6: convergence of the
+  distributed strategy decision over mini-rounds for six network sizes.
+* :mod:`repro.experiments.fig7_regret` -- Fig. 7(a)/(b): practical regret and
+  practical beta-regret of the paper's scheme vs. the LLR policy.
+* :mod:`repro.experiments.fig8_periodic` -- Fig. 8(a)-(d): estimated vs.
+  actual average effective throughput under periodic weight updates.
+* :mod:`repro.experiments.table2` -- Table II: round timing parameters and the
+  derived quantities (t_m, t_s, theta).
+* :mod:`repro.experiments.complexity` -- the complexity claims of Section IV-C
+  (messages per vertex, storage, local-instance sizes) measured empirically.
+
+Each module exposes a ``run_*`` function returning a structured result and a
+``format_*`` function rendering the same text table/series the paper reports.
+"""
+
+from repro.experiments.config import Fig6Config, Fig7Config, Fig8Config, ComplexityConfig
+from repro.experiments.fig6_convergence import Fig6Result, run_fig6, format_fig6
+from repro.experiments.fig7_regret import Fig7Result, run_fig7, format_fig7
+from repro.experiments.fig8_periodic import Fig8Result, run_fig8, format_fig8
+from repro.experiments.table2 import table2_report, format_table2
+from repro.experiments.complexity import ComplexityResult, run_complexity, format_complexity
+
+__all__ = [
+    "Fig6Config",
+    "Fig7Config",
+    "Fig8Config",
+    "ComplexityConfig",
+    "Fig6Result",
+    "run_fig6",
+    "format_fig6",
+    "Fig7Result",
+    "run_fig7",
+    "format_fig7",
+    "Fig8Result",
+    "run_fig8",
+    "format_fig8",
+    "table2_report",
+    "format_table2",
+    "ComplexityResult",
+    "run_complexity",
+    "format_complexity",
+]

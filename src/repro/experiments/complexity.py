@@ -1,0 +1,122 @@
+"""Experiment E6 -- complexity claims of Section IV-C.
+
+The paper claims, per strategy-decision round of the distributed scheme:
+
+* communication: ``O(r^2 + D)`` messages originated per vertex;
+* space: ``O(m)`` stored weights per vertex (its (2r+1)-hop neighbourhood);
+* computation: local MWIS instances of at most ``M (2r+1)^2`` independent
+  vertices, enumerable in polynomial time per mini-round.
+
+``run_complexity`` measures those quantities on a sweep of random networks
+and reports them side by side with the theoretical bounds, so the linear-in-
+neighbourhood (not linear-in-``N``) scaling is visible experimentally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.channels.catalog import assign_rates_to_network
+from repro.distributed.costs import theoretical_message_bound, theoretical_space_bound
+from repro.distributed.ptas import DistributedRobustPTAS
+from repro.experiments.config import ComplexityConfig
+from repro.experiments.reporting import render_table
+from repro.graph.extended import ExtendedConflictGraph
+from repro.graph.topology import random_network
+from repro.mwis.greedy import GreedyMWISSolver
+
+__all__ = ["ComplexityResult", "run_complexity", "format_complexity"]
+
+
+@dataclass
+class ComplexityResult:
+    """Measured per-round costs for each network size."""
+
+    config: ComplexityConfig
+    #: One record per network size, keyed by label "NxM".
+    records: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def labels(self) -> List[str]:
+        """Network-size labels in insertion order."""
+        return list(self.records)
+
+
+def run_complexity(config: ComplexityConfig = None) -> ComplexityResult:
+    """Measure communication / space / computation costs of one round."""
+    config = config if config is not None else ComplexityConfig.paper()
+    rng = np.random.default_rng(config.seed)
+    result = ComplexityResult(config=config)
+    for num_nodes, num_channels in config.network_sizes:
+        label = f"{num_nodes}x{num_channels}"
+        graph = random_network(
+            num_nodes,
+            num_channels,
+            average_degree=config.average_degree,
+            rng=rng,
+        )
+        extended = ExtendedConflictGraph(graph)
+        weights = assign_rates_to_network(num_nodes, num_channels, rng=rng).reshape(-1)
+        protocol = DistributedRobustPTAS(
+            extended.adjacency_sets(),
+            r=config.r,
+            local_solver=GreedyMWISSolver() if extended.num_vertices > 400 else None,
+        )
+        run = protocol.run(weights)
+        costs = run.costs
+        mini_rounds = run.num_mini_rounds
+        result.records[label] = {
+            "num_vertices": float(extended.num_vertices),
+            "average_degree": float(graph.average_degree()),
+            "mini_rounds": float(mini_rounds),
+            "max_messages_per_vertex": float(
+                costs.communication.max_messages_per_vertex
+            ),
+            "message_bound": float(
+                theoretical_message_bound(config.r, mini_rounds)
+            ),
+            "max_stored_weights": float(costs.max_stored_weights),
+            "space_bound": float(
+                theoretical_space_bound(costs.max_stored_weights)
+            ),
+            "max_local_instance": float(
+                costs.computation.max_candidate_set_size
+            ),
+            "local_mwis_calls": float(costs.computation.local_mwis_calls),
+            "winner_weight": float(run.independent_set.weight),
+        }
+    return result
+
+
+def format_complexity(result: ComplexityResult) -> str:
+    """Render the complexity measurements as a text table."""
+    headers = [
+        "network",
+        "K",
+        "avg deg",
+        "mini-rounds",
+        "max msgs/vertex",
+        "msg bound",
+        "max stored weights",
+        "max local instance",
+        "MWIS calls",
+    ]
+    rows = []
+    for label in result.labels():
+        record = result.records[label]
+        rows.append(
+            [
+                label,
+                record["num_vertices"],
+                record["average_degree"],
+                record["mini_rounds"],
+                record["max_messages_per_vertex"],
+                record["message_bound"],
+                record["max_stored_weights"],
+                record["max_local_instance"],
+                record["local_mwis_calls"],
+            ]
+        )
+    return render_table(headers, rows)

@@ -1,0 +1,127 @@
+"""Experiment configurations.
+
+Each configuration has a ``paper()`` constructor with the exact parameters of
+Section V and a ``quick()`` constructor with scaled-down parameters suitable
+for unit tests and benchmark runs on a laptop (the qualitative shape of every
+result is preserved; EXPERIMENTS.md records both).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+__all__ = ["Fig6Config", "Fig7Config", "Fig8Config", "ComplexityConfig"]
+
+
+@dataclass(frozen=True)
+class Fig6Config:
+    """Configuration of the Fig. 6 convergence experiment."""
+
+    #: (num_nodes, num_channels) pairs, one line of the figure each.
+    network_sizes: Tuple[Tuple[int, int], ...] = (
+        (50, 5),
+        (100, 5),
+        (200, 5),
+        (50, 10),
+        (100, 10),
+        (200, 10),
+    )
+    #: PTAS radius (the paper runs Algorithm 3 with r = 2).
+    r: int = 2
+    #: Number of mini-rounds plotted on the x axis.
+    max_mini_rounds: int = 10
+    #: Average degree of the random conflict graphs.
+    average_degree: float = 6.0
+    seed: int = 2014
+
+    @classmethod
+    def paper(cls) -> "Fig6Config":
+        """The exact Section V-A setup."""
+        return cls()
+
+    @classmethod
+    def quick(cls) -> "Fig6Config":
+        """Scaled-down variant for tests and benchmarks."""
+        return cls(
+            network_sizes=((20, 3), (40, 3), (20, 5)),
+            r=1,
+            max_mini_rounds=8,
+        )
+
+
+@dataclass(frozen=True)
+class Fig7Config:
+    """Configuration of the Fig. 7 regret experiment."""
+
+    num_nodes: int = 15
+    num_channels: int = 3
+    num_rounds: int = 1000
+    #: PTAS radius used by the distributed strategy decision.
+    r: int = 2
+    #: Approximation ratio alpha assumed for the beta-regret benchmark
+    #: (the paper does not report its numeric choice; see EXPERIMENTS.md).
+    alpha: float = 4.0
+    average_degree: float = 4.0
+    seed: int = 2014
+
+    @classmethod
+    def paper(cls) -> "Fig7Config":
+        """The Section V-B setup (15 users, 3 channels, 1000 slots)."""
+        return cls()
+
+    @classmethod
+    def quick(cls) -> "Fig7Config":
+        """Scaled-down variant for tests and benchmarks."""
+        return cls(num_nodes=8, num_channels=3, num_rounds=120, r=1)
+
+
+@dataclass(frozen=True)
+class Fig8Config:
+    """Configuration of the Fig. 8 periodic-update experiment."""
+
+    num_nodes: int = 100
+    num_channels: int = 10
+    #: Update periods y (one sub-figure each).
+    periods: Tuple[int, ...] = (1, 5, 10, 20)
+    #: Number of weight updates (the paper uses 1000 for every period).
+    num_periods: int = 1000
+    r: int = 2
+    average_degree: float = 6.0
+    seed: int = 2014
+
+    @classmethod
+    def paper(cls) -> "Fig8Config":
+        """The Section V-C setup (100 users, 10 channels, 1000 updates)."""
+        return cls()
+
+    @classmethod
+    def quick(cls) -> "Fig8Config":
+        """Scaled-down variant for tests and benchmarks."""
+        return cls(
+            num_nodes=20,
+            num_channels=4,
+            periods=(1, 5),
+            num_periods=40,
+            r=1,
+        )
+
+
+@dataclass(frozen=True)
+class ComplexityConfig:
+    """Configuration of the complexity-claims experiment (Section IV-C)."""
+
+    network_sizes: Tuple[Tuple[int, int], ...] = ((20, 3), (40, 3), (60, 3), (40, 5))
+    r: int = 2
+    average_degree: float = 6.0
+    seed: int = 2014
+
+    @classmethod
+    def paper(cls) -> "ComplexityConfig":
+        """Default sweep over growing networks."""
+        return cls()
+
+    @classmethod
+    def quick(cls) -> "ComplexityConfig":
+        """Scaled-down variant for tests and benchmarks."""
+        return cls(network_sizes=((10, 3), (20, 3)), r=1)

@@ -1,0 +1,42 @@
+"""Experiment E5 -- Table II: round timing parameters.
+
+Table II of the paper only lists the four timing constants; what matters for
+the evaluation is the structure derived from them (Fig. 2): the mini-round
+length ``t_m = 2 t_b + t_l``, the strategy-decision length ``t_s = 4 t_m``,
+the full round ``t_a = t_s + t_d`` and the effective-throughput factor
+``theta = t_d / t_a = 0.5`` that scales every throughput number in Figs. 7-8.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.experiments.reporting import render_table
+from repro.sim.timing import TimingConfig
+
+__all__ = ["table2_report", "format_table2"]
+
+
+def table2_report(timing: TimingConfig = None) -> Dict[str, float]:
+    """Return the Table II constants plus the derived round structure."""
+    timing = timing if timing is not None else TimingConfig.paper_defaults()
+    return {
+        "local_broadcast_tb_ms": timing.local_broadcast_ms,
+        "local_computation_tl_ms": timing.local_computation_ms,
+        "data_transmission_td_ms": timing.data_transmission_ms,
+        "mini_round_tm_ms": timing.mini_round_ms,
+        "strategy_decision_ts_ms": timing.strategy_decision_ms,
+        "round_ta_ms": timing.round_ms,
+        "theta": timing.theta,
+        "period_efficiency_y1": timing.period_efficiency(1),
+        "period_efficiency_y5": timing.period_efficiency(5),
+        "period_efficiency_y10": timing.period_efficiency(10),
+        "period_efficiency_y20": timing.period_efficiency(20),
+    }
+
+
+def format_table2(timing: TimingConfig = None) -> str:
+    """Render the Table II report as a text table."""
+    report = table2_report(timing)
+    rows = [[key, value] for key, value in report.items()]
+    return render_table(["parameter", "value"], rows)

@@ -1,0 +1,226 @@
+"""The original conflict graph ``G = (V, E, C)`` of the network model.
+
+``G`` has one vertex per secondary user; an edge between two users means
+their transmissions conflict when they access the same channel in the same
+round (Section II of the paper).  The channel set ``C`` is carried along with
+the graph because the number of channels ``M`` determines the size of the
+extended conflict graph ``H``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.graph.geometry import Point
+
+__all__ = ["ConflictGraph"]
+
+
+class ConflictGraph:
+    """Undirected conflict graph over ``N`` users with ``M`` channels.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of secondary users ``N``.
+    edges:
+        Iterable of ``(i, j)`` conflict pairs, ``0 <= i, j < num_nodes``.
+        Self loops are rejected; duplicate edges are merged.
+    num_channels:
+        Number of channels ``M`` available to every user.
+    positions:
+        Optional planar positions (used by unit-disk based topologies and kept
+        for reproducibility and plotting; never required by the algorithms).
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        edges: Iterable[Tuple[int, int]],
+        num_channels: int,
+        positions: Optional[Sequence[Point]] = None,
+    ) -> None:
+        if num_nodes <= 0:
+            raise ValueError(f"num_nodes must be positive, got {num_nodes}")
+        if num_channels <= 0:
+            raise ValueError(f"num_channels must be positive, got {num_channels}")
+        if positions is not None and len(positions) != num_nodes:
+            raise ValueError(
+                f"positions has {len(positions)} entries but num_nodes is {num_nodes}"
+            )
+        self._num_nodes = num_nodes
+        self._num_channels = num_channels
+        self._positions = list(positions) if positions is not None else None
+        self._adjacency: List[Set[int]] = [set() for _ in range(num_nodes)]
+        for i, j in edges:
+            self._add_edge(i, j)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def _add_edge(self, i: int, j: int) -> None:
+        if not (0 <= i < self._num_nodes and 0 <= j < self._num_nodes):
+            raise ValueError(
+                f"edge ({i}, {j}) out of range for {self._num_nodes} nodes"
+            )
+        if i == j:
+            raise ValueError(f"self loop ({i}, {j}) is not allowed")
+        self._adjacency[i].add(j)
+        self._adjacency[j].add(i)
+
+    @classmethod
+    def from_adjacency(
+        cls,
+        adjacency: Sequence[Set[int]],
+        num_channels: int,
+        positions: Optional[Sequence[Point]] = None,
+    ) -> "ConflictGraph":
+        """Build a graph from a neighbour-set list (as produced by
+        :func:`repro.graph.unit_disk.build_unit_disk_graph`)."""
+        edges = [
+            (i, j)
+            for i, neighbors in enumerate(adjacency)
+            for j in neighbors
+            if i < j
+        ]
+        return cls(len(adjacency), edges, num_channels, positions=positions)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of users ``N``."""
+        return self._num_nodes
+
+    @property
+    def num_channels(self) -> int:
+        """Number of channels ``M``."""
+        return self._num_channels
+
+    @property
+    def positions(self) -> Optional[List[Point]]:
+        """Planar node positions if the graph was built geometrically."""
+        return list(self._positions) if self._positions is not None else None
+
+    def nodes(self) -> range:
+        """Iterate over node ids ``0 .. N-1``."""
+        return range(self._num_nodes)
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over edges as ``(i, j)`` with ``i < j``."""
+        for i, neighbors in enumerate(self._adjacency):
+            for j in neighbors:
+                if i < j:
+                    yield (i, j)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of conflict edges."""
+        return sum(len(n) for n in self._adjacency) // 2
+
+    def neighbors(self, node: int) -> FrozenSet[int]:
+        """Return the neighbour set of ``node``."""
+        self._check_node(node)
+        return frozenset(self._adjacency[node])
+
+    def degree(self, node: int) -> int:
+        """Degree of ``node``."""
+        self._check_node(node)
+        return len(self._adjacency[node])
+
+    def average_degree(self) -> float:
+        """Average degree ``d`` of the graph (0 for an empty graph)."""
+        if self._num_nodes == 0:
+            return 0.0
+        return 2.0 * self.num_edges / self._num_nodes
+
+    def max_degree(self) -> int:
+        """Maximum degree over all nodes."""
+        return max((len(n) for n in self._adjacency), default=0)
+
+    def has_edge(self, i: int, j: int) -> bool:
+        """Return ``True`` when ``i`` and ``j`` conflict."""
+        self._check_node(i)
+        self._check_node(j)
+        return j in self._adjacency[i]
+
+    def _check_node(self, node: int) -> None:
+        if not (0 <= node < self._num_nodes):
+            raise ValueError(f"node {node} out of range [0, {self._num_nodes})")
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+    def is_independent_set(self, nodes: Iterable[int]) -> bool:
+        """Return ``True`` when no two nodes in ``nodes`` are adjacent."""
+        selected = list(nodes)
+        selected_set = set(selected)
+        if len(selected_set) != len(selected):
+            return False
+        for node in selected_set:
+            self._check_node(node)
+            if self._adjacency[node] & selected_set:
+                return False
+        return True
+
+    def connected_components(self) -> List[Set[int]]:
+        """Return the connected components as a list of node sets."""
+        seen: Set[int] = set()
+        components: List[Set[int]] = []
+        for start in range(self._num_nodes):
+            if start in seen:
+                continue
+            component: Set[int] = set()
+            queue = deque([start])
+            seen.add(start)
+            while queue:
+                node = queue.popleft()
+                component.add(node)
+                for neighbor in self._adjacency[node]:
+                    if neighbor not in seen:
+                        seen.add(neighbor)
+                        queue.append(neighbor)
+            components.append(component)
+        return components
+
+    def is_connected(self) -> bool:
+        """Return ``True`` when the graph has a single connected component."""
+        return len(self.connected_components()) <= 1
+
+    def subgraph(self, nodes: Iterable[int]) -> Tuple["ConflictGraph", Dict[int, int]]:
+        """Return the induced subgraph and the old-id -> new-id mapping.
+
+        Channel count and (when available) positions are preserved.
+        """
+        selected = sorted(set(nodes))
+        for node in selected:
+            self._check_node(node)
+        mapping = {old: new for new, old in enumerate(selected)}
+        edges = [
+            (mapping[i], mapping[j])
+            for i, j in self.edges()
+            if i in mapping and j in mapping
+        ]
+        positions = (
+            [self._positions[node] for node in selected]
+            if self._positions is not None
+            else None
+        )
+        if not selected:
+            raise ValueError("subgraph() requires at least one node")
+        sub = ConflictGraph(
+            len(selected), edges, self._num_channels, positions=positions
+        )
+        return sub, mapping
+
+    def adjacency_sets(self) -> List[Set[int]]:
+        """Return a copy of the adjacency structure."""
+        return [set(neighbors) for neighbors in self._adjacency]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return (
+            f"ConflictGraph(num_nodes={self._num_nodes}, "
+            f"num_edges={self.num_edges}, num_channels={self._num_channels})"
+        )

@@ -1,0 +1,227 @@
+"""The extended conflict graph ``H`` (Section III, Fig. 1 of the paper).
+
+For every user ``i`` of the original conflict graph ``G`` and every channel
+``j`` we create a *virtual vertex* ``v_{i,j}``.  Edges of ``H``:
+
+* the virtual vertices of the same *master* node form a clique (a user can
+  access at most one channel per round), and
+* ``v_{i,j}`` is connected to ``v_{p,j}`` whenever ``(i, p)`` is a conflict
+  edge of ``G`` (two conflicting users cannot share a channel).
+
+An independent set of ``H`` therefore corresponds one-to-one to a feasible
+channel-allocation strategy of ``G``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.graph.conflict_graph import ConflictGraph
+
+__all__ = ["VirtualVertex", "ExtendedConflictGraph"]
+
+
+@dataclass(frozen=True, order=True)
+class VirtualVertex:
+    """A virtual vertex ``v_{node, channel}`` of the extended graph.
+
+    ``node`` is the master user id in ``G`` and ``channel`` the channel index.
+    """
+
+    node: int
+    channel: int
+
+
+class ExtendedConflictGraph:
+    """Extended conflict graph ``H`` built from a :class:`ConflictGraph`.
+
+    Vertices are indexed by the flat id ``k = node * M + channel`` which is
+    also the *arm index* used by the learning policies (the paper maps the
+    pair ``(i, s_{x,i})`` to a single arm index in exactly this spirit).
+    """
+
+    def __init__(self, conflict_graph: ConflictGraph) -> None:
+        self._graph = conflict_graph
+        self._num_nodes = conflict_graph.num_nodes
+        self._num_channels = conflict_graph.num_channels
+        self._num_vertices = self._num_nodes * self._num_channels
+        self._adjacency: List[Set[int]] = [set() for _ in range(self._num_vertices)]
+        self._build_edges()
+
+    def _build_edges(self) -> None:
+        m = self._num_channels
+        # Clique among virtual vertices of the same master node.
+        for node in range(self._num_nodes):
+            base = node * m
+            for a in range(m):
+                for b in range(a + 1, m):
+                    self._adjacency[base + a].add(base + b)
+                    self._adjacency[base + b].add(base + a)
+        # Same-channel edges between conflicting masters.
+        for i, j in self._graph.edges():
+            for channel in range(m):
+                u = i * m + channel
+                v = j * m + channel
+                self._adjacency[u].add(v)
+                self._adjacency[v].add(u)
+
+    # ------------------------------------------------------------------
+    # Index conversions
+    # ------------------------------------------------------------------
+    @property
+    def conflict_graph(self) -> ConflictGraph:
+        """The underlying original conflict graph ``G``."""
+        return self._graph
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of master nodes ``N``."""
+        return self._num_nodes
+
+    @property
+    def num_channels(self) -> int:
+        """Number of channels ``M``."""
+        return self._num_channels
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of virtual vertices ``K = N * M``."""
+        return self._num_vertices
+
+    def vertex_index(self, node: int, channel: int) -> int:
+        """Flat arm index of virtual vertex ``v_{node, channel}``."""
+        if not (0 <= node < self._num_nodes):
+            raise ValueError(f"node {node} out of range [0, {self._num_nodes})")
+        if not (0 <= channel < self._num_channels):
+            raise ValueError(
+                f"channel {channel} out of range [0, {self._num_channels})"
+            )
+        return node * self._num_channels + channel
+
+    def vertex(self, index: int) -> VirtualVertex:
+        """Return the :class:`VirtualVertex` for a flat index."""
+        self._check_vertex(index)
+        node, channel = divmod(index, self._num_channels)
+        return VirtualVertex(node=node, channel=channel)
+
+    def master_of(self, index: int) -> int:
+        """Master node id of a virtual vertex."""
+        self._check_vertex(index)
+        return index // self._num_channels
+
+    def channel_of(self, index: int) -> int:
+        """Channel index of a virtual vertex."""
+        self._check_vertex(index)
+        return index % self._num_channels
+
+    def vertices(self) -> range:
+        """Iterate over flat vertex indices ``0 .. K-1``."""
+        return range(self._num_vertices)
+
+    def _check_vertex(self, index: int) -> None:
+        if not (0 <= index < self._num_vertices):
+            raise ValueError(
+                f"vertex {index} out of range [0, {self._num_vertices})"
+            )
+
+    # ------------------------------------------------------------------
+    # Adjacency
+    # ------------------------------------------------------------------
+    def neighbors(self, index: int) -> FrozenSet[int]:
+        """Neighbour set of a virtual vertex (same-master clique plus
+        same-channel conflict neighbours)."""
+        self._check_vertex(index)
+        return frozenset(self._adjacency[index])
+
+    def degree(self, index: int) -> int:
+        """Degree of a virtual vertex in ``H``."""
+        self._check_vertex(index)
+        return len(self._adjacency[index])
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over edges of ``H`` as ``(u, v)`` with ``u < v``."""
+        for u, neighbors in enumerate(self._adjacency):
+            for v in neighbors:
+                if u < v:
+                    yield (u, v)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges of ``H``."""
+        return sum(len(n) for n in self._adjacency) // 2
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Return ``True`` when virtual vertices ``u`` and ``v`` conflict."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        return v in self._adjacency[u]
+
+    def adjacency_sets(self) -> List[Set[int]]:
+        """Return a copy of the adjacency structure of ``H``."""
+        return [set(neighbors) for neighbors in self._adjacency]
+
+    # ------------------------------------------------------------------
+    # Independent sets <-> strategies
+    # ------------------------------------------------------------------
+    def is_independent_set(self, vertices: Iterable[int]) -> bool:
+        """Return ``True`` when ``vertices`` is an independent set of ``H``."""
+        selected = list(vertices)
+        selected_set = set(selected)
+        if len(selected_set) != len(selected):
+            return False
+        for vertex in selected_set:
+            self._check_vertex(vertex)
+            if self._adjacency[vertex] & selected_set:
+                return False
+        return True
+
+    def independent_set_to_assignment(
+        self, vertices: Iterable[int]
+    ) -> Dict[int, int]:
+        """Convert an independent set of ``H`` to a ``{node: channel}`` map.
+
+        Raises ``ValueError`` if the set is not independent (which would mean
+        either two channels for the same user or a same-channel conflict).
+        """
+        selected = list(vertices)
+        if not self.is_independent_set(selected):
+            raise ValueError("vertex set is not an independent set of H")
+        assignment: Dict[int, int] = {}
+        for vertex in selected:
+            assignment[self.master_of(vertex)] = self.channel_of(vertex)
+        return assignment
+
+    def assignment_to_independent_set(
+        self, assignment: Mapping[int, int]
+    ) -> List[int]:
+        """Convert a ``{node: channel}`` map to a sorted vertex-index list.
+
+        The assignment must be conflict free; otherwise ``ValueError`` is
+        raised with the first offending pair.
+        """
+        vertices = sorted(
+            self.vertex_index(node, channel) for node, channel in assignment.items()
+        )
+        for node, channel in assignment.items():
+            for other in self._graph.neighbors(node):
+                if assignment.get(other) == channel:
+                    raise ValueError(
+                        f"nodes {node} and {other} both assigned channel {channel} "
+                        "but they conflict"
+                    )
+        return vertices
+
+    def weight_of(self, vertices: Iterable[int], weights: Sequence[float]) -> float:
+        """Summed weight ``W(I)`` of a vertex set under a flat weight vector."""
+        total = 0.0
+        for vertex in vertices:
+            self._check_vertex(vertex)
+            total += float(weights[vertex])
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return (
+            f"ExtendedConflictGraph(N={self._num_nodes}, M={self._num_channels}, "
+            f"K={self._num_vertices}, edges={self.num_edges})"
+        )

@@ -1,0 +1,114 @@
+"""Hop distances and r-hop neighbourhoods.
+
+The robust PTAS and its distributed variant operate on r-hop neighbourhoods
+``J_{G,r}(v) = {u : d_G(u, v) <= r}`` (Table I of the paper).  The helpers
+here work on any adjacency-set representation, so they are shared by the
+original conflict graph ``G`` and the extended conflict graph ``H``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Sequence, Set, Union
+
+from repro.graph.conflict_graph import ConflictGraph
+from repro.graph.extended import ExtendedConflictGraph
+
+__all__ = [
+    "hop_distances",
+    "hop_distance",
+    "r_hop_neighborhood",
+    "all_r_hop_neighborhoods",
+    "eccentricity",
+    "graph_diameter",
+]
+
+AdjacencyLike = Union[Sequence[Set[int]], ConflictGraph, ExtendedConflictGraph]
+
+
+def _adjacency(graph: AdjacencyLike) -> Sequence[Set[int]]:
+    """Normalise the supported graph representations to adjacency sets."""
+    if isinstance(graph, (ConflictGraph, ExtendedConflictGraph)):
+        return graph.adjacency_sets()
+    return graph
+
+
+def hop_distances(graph: AdjacencyLike, source: int) -> Dict[int, int]:
+    """Breadth-first hop distances from ``source`` to every reachable vertex.
+
+    The source itself is at distance 0.  Unreachable vertices are omitted.
+    """
+    adjacency = _adjacency(graph)
+    if not (0 <= source < len(adjacency)):
+        raise ValueError(f"source {source} out of range [0, {len(adjacency)})")
+    distances: Dict[int, int] = {source: 0}
+    queue = deque([source])
+    while queue:
+        vertex = queue.popleft()
+        for neighbor in adjacency[vertex]:
+            if neighbor not in distances:
+                distances[neighbor] = distances[vertex] + 1
+                queue.append(neighbor)
+    return distances
+
+
+def hop_distance(graph: AdjacencyLike, source: int, target: int) -> float:
+    """Hop distance ``d(source, target)``; ``inf`` when disconnected."""
+    adjacency = _adjacency(graph)
+    if not (0 <= target < len(adjacency)):
+        raise ValueError(f"target {target} out of range [0, {len(adjacency)})")
+    distances = hop_distances(adjacency, source)
+    return float(distances.get(target, float("inf")))
+
+
+def r_hop_neighborhood(graph: AdjacencyLike, vertex: int, r: int) -> Set[int]:
+    """The r-hop neighbourhood ``J_r(vertex)`` *including* the vertex itself.
+
+    Matches the paper's definition ``J_{G,r}(v) = {u : d_G(u, v) <= r}``.
+    A truncated breadth-first search is used so only vertices within ``r``
+    hops are ever visited.
+    """
+    if r < 0:
+        raise ValueError(f"r must be non-negative, got {r}")
+    adjacency = _adjacency(graph)
+    if not (0 <= vertex < len(adjacency)):
+        raise ValueError(f"vertex {vertex} out of range [0, {len(adjacency)})")
+    reached: Set[int] = {vertex}
+    frontier = {vertex}
+    for _ in range(r):
+        next_frontier: Set[int] = set()
+        for current in frontier:
+            for neighbor in adjacency[current]:
+                if neighbor not in reached:
+                    reached.add(neighbor)
+                    next_frontier.add(neighbor)
+        if not next_frontier:
+            break
+        frontier = next_frontier
+    return reached
+
+
+def all_r_hop_neighborhoods(graph: AdjacencyLike, r: int) -> List[Set[int]]:
+    """Return ``J_r(v)`` for every vertex ``v`` of the graph."""
+    adjacency = _adjacency(graph)
+    return [r_hop_neighborhood(adjacency, vertex, r) for vertex in range(len(adjacency))]
+
+
+def eccentricity(graph: AdjacencyLike, vertex: int) -> float:
+    """Maximum hop distance from ``vertex`` to any reachable vertex.
+
+    Returns ``inf`` when some vertex of the graph is unreachable.
+    """
+    adjacency = _adjacency(graph)
+    distances = hop_distances(adjacency, vertex)
+    if len(distances) < len(adjacency):
+        return float("inf")
+    return float(max(distances.values(), default=0))
+
+
+def graph_diameter(graph: AdjacencyLike) -> float:
+    """Diameter (maximum eccentricity); ``inf`` for disconnected graphs."""
+    adjacency = _adjacency(graph)
+    if not adjacency:
+        return 0.0
+    return max(eccentricity(adjacency, vertex) for vertex in range(len(adjacency)))

@@ -1,0 +1,191 @@
+"""Topology generators used in the paper's evaluation.
+
+* Random networks with uniformly-distributed node positions (Section V uses
+  networks of 50/100/200 users with 5 or 10 channels, and a 15-user network
+  for the regret study).
+* Linear networks: the worst case of Fig. 5 where only one LocalLeader can be
+  elected per mini-round.
+* Grid, ring and star networks for tests and additional examples.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.graph.conflict_graph import ConflictGraph
+from repro.graph.geometry import Point
+from repro.graph.unit_disk import DEFAULT_CONFLICT_RADIUS, build_unit_disk_graph
+
+__all__ = [
+    "random_network",
+    "connected_random_network",
+    "linear_network",
+    "grid_network",
+    "ring_network",
+    "star_network",
+    "area_side_for_average_degree",
+]
+
+
+def area_side_for_average_degree(
+    num_nodes: int,
+    average_degree: float,
+    radius: float = DEFAULT_CONFLICT_RADIUS,
+) -> float:
+    """Side length of a square deployment area giving roughly the requested
+    average degree.
+
+    For ``N`` nodes placed uniformly in an ``L x L`` square, the expected
+    number of neighbours of a typical node is approximately
+    ``(N - 1) * pi * radius^2 / L^2`` (ignoring border effects).  Solving for
+    ``L`` yields the value returned here.
+    """
+    if num_nodes <= 1:
+        raise ValueError("need at least two nodes to define an average degree")
+    if average_degree <= 0:
+        raise ValueError(f"average_degree must be positive, got {average_degree}")
+    if radius <= 0:
+        raise ValueError(f"radius must be positive, got {radius}")
+    area = (num_nodes - 1) * math.pi * radius * radius / average_degree
+    return math.sqrt(area)
+
+
+def random_network(
+    num_nodes: int,
+    num_channels: int,
+    *,
+    area_side: Optional[float] = None,
+    average_degree: Optional[float] = None,
+    radius: float = DEFAULT_CONFLICT_RADIUS,
+    rng: Optional[np.random.Generator] = None,
+) -> ConflictGraph:
+    """Random unit-disk network with uniformly distributed node positions.
+
+    Exactly one of ``area_side`` and ``average_degree`` may be given; when
+    neither is given a default average degree of 6 is targeted, which gives
+    connected-ish sparse networks similar to the paper's random topologies.
+    """
+    if num_nodes <= 0:
+        raise ValueError(f"num_nodes must be positive, got {num_nodes}")
+    if area_side is not None and average_degree is not None:
+        raise ValueError("give either area_side or average_degree, not both")
+    rng = rng if rng is not None else np.random.default_rng()
+    if area_side is None:
+        target_degree = average_degree if average_degree is not None else 6.0
+        if num_nodes == 1:
+            area_side = radius
+        else:
+            area_side = area_side_for_average_degree(
+                num_nodes, target_degree, radius=radius
+            )
+    if area_side <= 0:
+        raise ValueError(f"area_side must be positive, got {area_side}")
+    coords = rng.uniform(0.0, area_side, size=(num_nodes, 2))
+    positions = [Point(float(x), float(y)) for x, y in coords]
+    adjacency = build_unit_disk_graph(positions, radius=radius)
+    return ConflictGraph.from_adjacency(adjacency, num_channels, positions=positions)
+
+
+def connected_random_network(
+    num_nodes: int,
+    num_channels: int,
+    *,
+    average_degree: float = 6.0,
+    radius: float = DEFAULT_CONFLICT_RADIUS,
+    rng: Optional[np.random.Generator] = None,
+    max_attempts: int = 200,
+) -> ConflictGraph:
+    """Random network resampled until it is connected.
+
+    The regret experiment of the paper (Fig. 7) uses a *connected* random
+    network of 15 users; this helper reproduces that construction.  Raises
+    ``RuntimeError`` when no connected sample is found within
+    ``max_attempts`` draws (which indicates the requested density is too low).
+    """
+    rng = rng if rng is not None else np.random.default_rng()
+    for _ in range(max_attempts):
+        graph = random_network(
+            num_nodes,
+            num_channels,
+            average_degree=average_degree,
+            radius=radius,
+            rng=rng,
+        )
+        if graph.is_connected():
+            return graph
+    raise RuntimeError(
+        f"could not sample a connected network of {num_nodes} nodes with "
+        f"average degree {average_degree} in {max_attempts} attempts"
+    )
+
+
+def linear_network(
+    num_nodes: int,
+    num_channels: int,
+    *,
+    spacing: float = 1.0,
+    radius: float = DEFAULT_CONFLICT_RADIUS,
+) -> ConflictGraph:
+    """Nodes aligned uniformly along a line (the Fig. 5 worst case).
+
+    With ``spacing <= radius`` consecutive nodes conflict; the default spacing
+    of 1 with the default radius of 2 makes each node conflict with its two
+    neighbours on either side, mirroring the "within 1-hop distance" phrasing
+    of the paper.
+    """
+    if num_nodes <= 0:
+        raise ValueError(f"num_nodes must be positive, got {num_nodes}")
+    if spacing <= 0:
+        raise ValueError(f"spacing must be positive, got {spacing}")
+    positions = [Point(i * spacing, 0.0) for i in range(num_nodes)]
+    adjacency = build_unit_disk_graph(positions, radius=radius)
+    return ConflictGraph.from_adjacency(adjacency, num_channels, positions=positions)
+
+
+def grid_network(
+    rows: int,
+    cols: int,
+    num_channels: int,
+    *,
+    spacing: float = 2.0,
+    radius: float = DEFAULT_CONFLICT_RADIUS,
+) -> ConflictGraph:
+    """Regular grid of ``rows x cols`` nodes.
+
+    With the default spacing equal to the conflict radius, each node conflicts
+    with its 4-neighbourhood (von Neumann neighbours).
+    """
+    if rows <= 0 or cols <= 0:
+        raise ValueError(f"rows and cols must be positive, got {rows}x{cols}")
+    positions = [
+        Point(c * spacing, r * spacing) for r in range(rows) for c in range(cols)
+    ]
+    adjacency = build_unit_disk_graph(positions, radius=radius)
+    return ConflictGraph.from_adjacency(adjacency, num_channels, positions=positions)
+
+
+def ring_network(num_nodes: int, num_channels: int) -> ConflictGraph:
+    """Cycle graph where node ``i`` conflicts with ``i-1`` and ``i+1``.
+
+    Built combinatorially (no positions) so it stays a true cycle for any
+    ``num_nodes >= 3``; for smaller sizes it degenerates to a path.
+    """
+    if num_nodes <= 0:
+        raise ValueError(f"num_nodes must be positive, got {num_nodes}")
+    edges = []
+    if num_nodes >= 2:
+        edges = [(i, (i + 1) % num_nodes) for i in range(num_nodes)]
+        if num_nodes == 2:
+            edges = [(0, 1)]
+    return ConflictGraph(num_nodes, edges, num_channels)
+
+
+def star_network(num_leaves: int, num_channels: int) -> ConflictGraph:
+    """Star graph: node 0 is the hub conflicting with every leaf."""
+    if num_leaves < 0:
+        raise ValueError(f"num_leaves must be non-negative, got {num_leaves}")
+    edges = [(0, leaf) for leaf in range(1, num_leaves + 1)]
+    return ConflictGraph(num_leaves + 1, edges, num_channels)

@@ -1,0 +1,62 @@
+"""Unit-disk graph construction.
+
+An edge ``(u, v)`` exists in a unit-disk graph when the Euclidean distance
+between the nodes is at most the *conflict radius*.  The paper treats each
+node as a unit disk centred on itself, so two disks intersect when their
+centres are within distance 2; we keep the radius configurable because the
+topology generators (``repro.graph.topology``) use it to control the average
+degree of random networks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.graph.geometry import Point, pairwise_distances
+
+__all__ = ["unit_disk_edges", "build_unit_disk_graph", "DEFAULT_CONFLICT_RADIUS"]
+
+#: Conflict radius implied by the paper's unit-disk model (two unit disks
+#: intersect when their centres are within distance 2).
+DEFAULT_CONFLICT_RADIUS = 2.0
+
+
+def unit_disk_edges(
+    points: Sequence[Point], radius: float = DEFAULT_CONFLICT_RADIUS
+) -> List[Tuple[int, int]]:
+    """Return the edge list of the unit-disk graph over ``points``.
+
+    Edges are returned as ``(i, j)`` index pairs with ``i < j``.  Nodes at
+    distance exactly ``radius`` are considered in conflict (closed disk),
+    matching the paper's ``||u, v|| <= 2`` convention.
+    """
+    if radius <= 0:
+        raise ValueError(f"radius must be positive, got {radius}")
+    dist = pairwise_distances(points)
+    n = dist.shape[0]
+    edges: List[Tuple[int, int]] = []
+    if n == 0:
+        return edges
+    iu, ju = np.triu_indices(n, k=1)
+    mask = dist[iu, ju] <= radius
+    for i, j in zip(iu[mask], ju[mask]):
+        edges.append((int(i), int(j)))
+    return edges
+
+
+def build_unit_disk_graph(
+    points: Sequence[Point], radius: float = DEFAULT_CONFLICT_RADIUS
+) -> List[Set[int]]:
+    """Return the adjacency structure of the unit-disk graph over ``points``.
+
+    The result is a list of neighbour sets indexed by node id; it is the raw
+    representation consumed by :class:`repro.graph.conflict_graph.ConflictGraph`.
+    """
+    n = len(points)
+    adjacency: List[Set[int]] = [set() for _ in range(n)]
+    for i, j in unit_disk_edges(points, radius=radius):
+        adjacency[i].add(j)
+        adjacency[j].add(i)
+    return adjacency

@@ -1,0 +1,37 @@
+"""Maximum Weighted Independent Set (MWIS) solvers.
+
+Every round of the paper's channel-access scheme maximises a learned weight
+over independent sets of the extended conflict graph ``H`` (eq. (4)).  The
+problem is NP-hard; the paper's Theorem 1 shows that any beta-approximation
+solver preserves a (beta-)zero-regret guarantee, and its concrete choice is
+the robust PTAS of Nieberg, Hurink and Kern for growth-bounded graphs.
+
+This subpackage provides:
+
+* :mod:`repro.mwis.base` -- solver interface and the :class:`IndependentSet`
+  result container.
+* :mod:`repro.mwis.exact` -- exact branch-and-bound solver (ground truth for
+  the regret experiments and for local neighbourhood computations).
+* :mod:`repro.mwis.greedy` -- greedy approximations (practical baselines).
+* :mod:`repro.mwis.robust_ptas` -- the centralized robust PTAS.
+* :mod:`repro.mwis.local` -- local MWIS over candidate sets ``A_r(v)`` as
+  used by the distributed Algorithm 3.
+"""
+
+from repro.mwis.base import IndependentSet, MWISSolver, is_independent, set_weight
+from repro.mwis.exact import ExactMWISSolver
+from repro.mwis.greedy import GreedyMWISSolver, GreedyRatioMWISSolver
+from repro.mwis.robust_ptas import RobustPTASSolver
+from repro.mwis.local import solve_local_mwis
+
+__all__ = [
+    "IndependentSet",
+    "MWISSolver",
+    "is_independent",
+    "set_weight",
+    "ExactMWISSolver",
+    "GreedyMWISSolver",
+    "GreedyRatioMWISSolver",
+    "RobustPTASSolver",
+    "solve_local_mwis",
+]

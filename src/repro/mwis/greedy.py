@@ -1,0 +1,64 @@
+"""Greedy MWIS approximations.
+
+The paper notes (end of Section IV-C) that "in practice, we can use more
+efficient constant approximation algorithm instead" of the enumeration inside
+each LocalLeader.  These greedy solvers provide exactly that option and also
+serve as ablation baselines against the robust PTAS.
+
+* :class:`GreedyMWISSolver` repeatedly picks the heaviest eligible vertex.
+* :class:`GreedyRatioMWISSolver` picks the vertex maximising
+  ``weight / (degree + 1)``, the classical GWMIN rule whose output weight is
+  at least ``sum_v w_v / (deg(v) + 1)`` (Sakai, Togasaki, Yamazaki 2003), i.e.
+  a ``(Delta + 1)``-approximation on graphs of maximum degree ``Delta``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Set
+
+from repro.mwis.base import Adjacency, IndependentSet, MWISSolver
+
+__all__ = ["GreedyMWISSolver", "GreedyRatioMWISSolver"]
+
+
+class GreedyMWISSolver(MWISSolver):
+    """Pick the heaviest remaining vertex, discard its neighbours, repeat."""
+
+    approximation_ratio = None
+
+    def solve(self, adjacency: Adjacency, weights: Sequence[float]) -> IndependentSet:
+        self._validate_inputs(adjacency, weights)
+        eligible: Set[int] = {v for v in range(len(adjacency)) if weights[v] > 0}
+        chosen: Set[int] = set()
+        while eligible:
+            # Ties broken by the smaller vertex id for determinism.
+            vertex = max(eligible, key=lambda v: (weights[v], -v))
+            chosen.add(vertex)
+            eligible -= adjacency[vertex]
+            eligible.discard(vertex)
+        return IndependentSet.from_iterable(chosen, weights)
+
+
+class GreedyRatioMWISSolver(MWISSolver):
+    """GWMIN greedy: pick the vertex maximising ``w_v / (deg_eligible(v)+1)``.
+
+    The degree is recomputed on the shrinking eligible subgraph, which is the
+    variant with the standard weight guarantee.
+    """
+
+    approximation_ratio = None
+
+    def solve(self, adjacency: Adjacency, weights: Sequence[float]) -> IndependentSet:
+        self._validate_inputs(adjacency, weights)
+        eligible: Set[int] = {v for v in range(len(adjacency)) if weights[v] > 0}
+        chosen: Set[int] = set()
+        while eligible:
+            def score(v: int) -> tuple:
+                residual_degree = len(adjacency[v] & eligible)
+                return (weights[v] / (residual_degree + 1), -v)
+
+            vertex = max(eligible, key=score)
+            chosen.add(vertex)
+            eligible -= adjacency[vertex]
+            eligible.discard(vertex)
+        return IndependentSet.from_iterable(chosen, weights)

@@ -1,0 +1,28 @@
+"""Simulation engine: round-by-round execution of channel-access policies.
+
+* :mod:`repro.sim.timing` -- the round structure of Fig. 2 / Table II and the
+  effective-throughput factor ``theta = t_d / t_a``.
+* :mod:`repro.sim.engine` -- the per-round simulator (Algorithm 2's outer loop).
+* :mod:`repro.sim.periodic` -- periodic (stale-weight) update simulation of
+  Section V-C.
+* :mod:`repro.sim.results` -- result containers.
+* :mod:`repro.sim.metrics` -- small numeric helpers shared by the experiments.
+"""
+
+from repro.sim.timing import TimingConfig
+from repro.sim.engine import Simulator
+from repro.sim.periodic import PeriodicSimulator, PeriodRecord, PeriodicResult
+from repro.sim.results import RoundRecord, SimulationResult
+from repro.sim.metrics import running_average, summarize_trace
+
+__all__ = [
+    "TimingConfig",
+    "Simulator",
+    "PeriodicSimulator",
+    "PeriodRecord",
+    "PeriodicResult",
+    "RoundRecord",
+    "SimulationResult",
+    "running_average",
+    "summarize_trace",
+]

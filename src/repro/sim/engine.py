@@ -1,0 +1,152 @@
+"""Round-by-round simulator: the outer loop of Algorithm 2.
+
+The simulator owns the environment (extended conflict graph + channel state)
+and drives one policy through ``n`` rounds:
+
+1. the policy picks a strategy (for the paper's scheme this internally runs
+   the distributed robust PTAS on the estimated weights);
+2. the picked (node, channel) pairs transmit and observe sampled data rates;
+3. the observations are fed back to the policy (eqs. (5), (6));
+4. expected / observed / estimated throughputs are recorded.
+
+Every produced strategy is checked to be an independent set of ``H`` — a
+conflicting assignment would invalidate the throughput accounting, so it is
+treated as a hard error rather than silently scored.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.channels.state import ChannelState
+from repro.core.policies import Policy
+from repro.core.regret import RegretTracker
+from repro.core.strategy import Strategy
+from repro.graph.extended import ExtendedConflictGraph
+from repro.sim.results import RoundRecord, SimulationResult
+from repro.sim.timing import TimingConfig
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Simulate a learning policy on a fixed network and channel state.
+
+    Parameters
+    ----------
+    graph:
+        The extended conflict graph ``H``.
+    channels:
+        The ground-truth channel state (must have matching ``N`` and ``M``).
+    timing:
+        Round timing; defaults to the paper's Table II values (``theta = 0.5``).
+    optimal_value:
+        Expected throughput ``R_1`` of the optimal fixed strategy, when known
+        (used to fill the regret tracker).  ``None`` for large networks.
+    rng:
+        Random generator driving the channel draws.
+    """
+
+    def __init__(
+        self,
+        graph: ExtendedConflictGraph,
+        channels: ChannelState,
+        timing: Optional[TimingConfig] = None,
+        optimal_value: Optional[float] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if channels.num_nodes != graph.num_nodes or channels.num_channels != graph.num_channels:
+            raise ValueError(
+                "channel state shape "
+                f"({channels.num_nodes}x{channels.num_channels}) does not match "
+                f"the graph ({graph.num_nodes}x{graph.num_channels})"
+            )
+        self._graph = graph
+        self._channels = channels
+        self._timing = timing if timing is not None else TimingConfig.paper_defaults()
+        self._optimal_value = optimal_value
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    @property
+    def graph(self) -> ExtendedConflictGraph:
+        """The extended conflict graph."""
+        return self._graph
+
+    @property
+    def channels(self) -> ChannelState:
+        """The channel environment."""
+        return self._channels
+
+    @property
+    def timing(self) -> TimingConfig:
+        """The round timing configuration."""
+        return self._timing
+
+    def run(self, policy: Policy, num_rounds: int) -> SimulationResult:
+        """Run ``policy`` for ``num_rounds`` rounds and return the full trace."""
+        if num_rounds <= 0:
+            raise ValueError(f"num_rounds must be positive, got {num_rounds}")
+        tracker = RegretTracker(
+            optimal_value=self._optimal_value, theta=self._timing.theta
+        )
+        result = SimulationResult(policy_name=policy.name, tracker=tracker)
+        mean_matrix = self._channels.mean_matrix()
+        for round_index in range(1, num_rounds + 1):
+            strategy = policy.select_strategy(round_index)
+            self._validate_strategy(strategy)
+            record = self._play_round(policy, round_index, strategy, mean_matrix)
+            result.rounds.append(record)
+            tracker.record(record.expected_reward, record.observed_reward)
+        return result
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _validate_strategy(self, strategy: Strategy) -> None:
+        if not strategy.is_feasible(self._graph):
+            raise RuntimeError(
+                f"policy produced an infeasible strategy: {strategy!r}"
+            )
+
+    def _play_round(
+        self,
+        policy: Policy,
+        round_index: int,
+        strategy: Strategy,
+        mean_matrix: np.ndarray,
+    ) -> RoundRecord:
+        assignment = strategy.as_dict()
+        observations_by_node = self._channels.sample_assignment(assignment, self._rng)
+        observations_by_arm = {
+            self._graph.vertex_index(node, assignment[node]): value
+            for node, value in observations_by_node.items()
+        }
+        estimated_weight = self._estimated_strategy_weight(policy, round_index, strategy)
+        policy.observe(round_index, strategy, observations_by_arm)
+        expected_reward = strategy.expected_reward(mean_matrix)
+        observed_reward = float(sum(observations_by_node.values()))
+        return RoundRecord(
+            round_index=round_index,
+            strategy=strategy,
+            expected_reward=expected_reward,
+            observed_reward=observed_reward,
+            estimated_weight=estimated_weight,
+        )
+
+    def _estimated_strategy_weight(
+        self, policy: Policy, round_index: int, strategy: Strategy
+    ) -> Optional[float]:
+        """Weight the policy's own index assigns to the played strategy.
+
+        Only available for index-based policies exposing
+        ``estimated_weights``; other policies simply record ``None``.
+        """
+        estimated_weights = getattr(policy, "estimated_weights", None)
+        if not callable(estimated_weights):
+            return None
+        weights = estimated_weights(round_index)
+        return float(
+            sum(weights[arm] for arm in strategy.arms(self._graph))
+        )

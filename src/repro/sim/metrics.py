@@ -1,0 +1,47 @@
+"""Small numeric helpers shared by the experiment harness."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+__all__ = ["running_average", "summarize_trace", "tail_mean"]
+
+
+def running_average(values: Sequence[float]) -> np.ndarray:
+    """Running (prefix) average of a sequence.
+
+    ``running_average(x)[i] = mean(x[: i + 1])``; an empty input yields an
+    empty array.
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return arr
+    return np.cumsum(arr) / np.arange(1, arr.size + 1)
+
+
+def tail_mean(values: Sequence[float], fraction: float = 0.1) -> float:
+    """Mean of the last ``fraction`` of the sequence (converged value proxy)."""
+    if not (0.0 < fraction <= 1.0):
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("tail_mean() of an empty sequence")
+    tail = max(1, int(round(arr.size * fraction)))
+    return float(arr[-tail:].mean())
+
+
+def summarize_trace(values: Sequence[float]) -> Dict[str, float]:
+    """Summary statistics of a trace (used in the text reports)."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("summarize_trace() of an empty sequence")
+    return {
+        "first": float(arr[0]),
+        "last": float(arr[-1]),
+        "min": float(arr.min()),
+        "max": float(arr.max()),
+        "mean": float(arr.mean()),
+        "tail_mean": tail_mean(arr, fraction=0.1),
+    }

@@ -1,0 +1,194 @@
+"""Periodic-update simulation (Section V-C of the paper).
+
+Updating the weights (and re-running the distributed strategy decision) every
+time slot costs a fixed ``t_s`` per slot, so only ``theta = t_d / t_a`` of the
+time is spent transmitting.  Section V-C instead updates once per *period* of
+``y`` slots: the strategy is decided in the first slot of the period and the
+remaining ``y - 1`` slots only transmit.
+
+The per-period actual average throughput is (paper notation, ``z``-th period):
+
+    R_P(z) = [ R_x(zy + 1) * t_d  +  sum_{t = zy+2}^{(z+1) y} R_x(t) * t_a ] / (y * t_a)
+
+and the per-period estimated throughput is
+
+    W_P(z) = [ (y - 1) * t_a + t_d ] * W_x(zy + 1) / (y * t_a)
+
+The experiment of Fig. 8 tracks the running averages of both quantities for
+``y`` in {1, 5, 10, 20} and compares the paper's policy against LLR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.channels.state import ChannelState
+from repro.core.policies import Policy
+from repro.core.strategy import Strategy
+from repro.graph.extended import ExtendedConflictGraph
+from repro.sim.metrics import running_average
+from repro.sim.timing import TimingConfig
+
+__all__ = ["PeriodRecord", "PeriodicResult", "PeriodicSimulator"]
+
+
+@dataclass(frozen=True)
+class PeriodRecord:
+    """Throughput summary of one update period."""
+
+    period_index: int
+    strategy: Strategy
+    #: Actual average throughput R_P(z), time-weighted as in the paper.
+    actual_throughput: float
+    #: Estimated average throughput W_P(z) under the policy's index weights.
+    estimated_throughput: float
+    #: Expected (true-mean) average throughput with the same time weighting.
+    expected_throughput: float
+
+
+@dataclass
+class PeriodicResult:
+    """Full trace of a periodic-update run."""
+
+    policy_name: str
+    period_slots: int
+    records: List[PeriodRecord] = field(default_factory=list)
+
+    @property
+    def num_periods(self) -> int:
+        """Number of simulated periods."""
+        return len(self.records)
+
+    @property
+    def num_slots(self) -> int:
+        """Total number of simulated time slots."""
+        return self.num_periods * self.period_slots
+
+    def actual_throughputs(self) -> np.ndarray:
+        """Per-period actual throughput R_P(z)."""
+        return np.array([r.actual_throughput for r in self.records], dtype=float)
+
+    def estimated_throughputs(self) -> np.ndarray:
+        """Per-period estimated throughput W_P(z)."""
+        return np.array([r.estimated_throughput for r in self.records], dtype=float)
+
+    def expected_throughputs(self) -> np.ndarray:
+        """Per-period expected (true-mean) throughput."""
+        return np.array([r.expected_throughput for r in self.records], dtype=float)
+
+    def average_actual_trace(self) -> np.ndarray:
+        """Running average of the actual throughput (the paper's R~_P(z))."""
+        return running_average(self.actual_throughputs())
+
+    def average_estimated_trace(self) -> np.ndarray:
+        """Running average of the estimated throughput (the paper's W~_P(z))."""
+        return running_average(self.estimated_throughputs())
+
+
+class PeriodicSimulator:
+    """Simulate a policy with strategy decisions once every ``y`` slots."""
+
+    def __init__(
+        self,
+        graph: ExtendedConflictGraph,
+        channels: ChannelState,
+        period_slots: int,
+        timing: Optional[TimingConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if period_slots < 1:
+            raise ValueError(f"period_slots must be >= 1, got {period_slots}")
+        if channels.num_nodes != graph.num_nodes or channels.num_channels != graph.num_channels:
+            raise ValueError(
+                "channel state shape "
+                f"({channels.num_nodes}x{channels.num_channels}) does not match "
+                f"the graph ({graph.num_nodes}x{graph.num_channels})"
+            )
+        self._graph = graph
+        self._channels = channels
+        self._period_slots = period_slots
+        self._timing = timing if timing is not None else TimingConfig.paper_defaults()
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    @property
+    def period_slots(self) -> int:
+        """Number of time slots per update period ``y``."""
+        return self._period_slots
+
+    @property
+    def timing(self) -> TimingConfig:
+        """Round timing configuration."""
+        return self._timing
+
+    def run(self, policy: Policy, num_periods: int) -> PeriodicResult:
+        """Run ``policy`` for ``num_periods`` update periods."""
+        if num_periods <= 0:
+            raise ValueError(f"num_periods must be positive, got {num_periods}")
+        result = PeriodicResult(
+            policy_name=policy.name, period_slots=self._period_slots
+        )
+        mean_matrix = self._channels.mean_matrix()
+        t_a = self._timing.round_ms
+        t_d = self._timing.data_transmission_ms
+        y = self._period_slots
+        period_time = y * t_a
+        estimation_scale = ((y - 1) * t_a + t_d) / period_time
+
+        for period in range(1, num_periods + 1):
+            decision_slot = (period - 1) * y + 1
+            strategy = policy.select_strategy(decision_slot)
+            if not strategy.is_feasible(self._graph):
+                raise RuntimeError(
+                    f"policy produced an infeasible strategy: {strategy!r}"
+                )
+            estimated_weight = self._estimated_strategy_weight(
+                policy, decision_slot, strategy
+            )
+            assignment = strategy.as_dict()
+            arm_of_node = {
+                node: self._graph.vertex_index(node, channel)
+                for node, channel in assignment.items()
+            }
+            weighted_observed = 0.0
+            for slot_offset in range(y):
+                slot_index = decision_slot + slot_offset
+                observations = self._channels.sample_assignment(assignment, self._rng)
+                slot_reward = float(sum(observations.values()))
+                # First slot of the period loses t_s to the strategy decision.
+                slot_weight = t_d if slot_offset == 0 else t_a
+                weighted_observed += slot_reward * slot_weight
+                policy.observe(
+                    slot_index,
+                    strategy,
+                    {arm_of_node[node]: value for node, value in observations.items()},
+                )
+            actual_throughput = weighted_observed / period_time
+            expected_reward = strategy.expected_reward(mean_matrix)
+            expected_throughput = expected_reward * estimation_scale
+            estimated_throughput = (
+                estimated_weight * estimation_scale
+                if estimated_weight is not None
+                else float("nan")
+            )
+            result.records.append(
+                PeriodRecord(
+                    period_index=period,
+                    strategy=strategy,
+                    actual_throughput=actual_throughput,
+                    estimated_throughput=estimated_throughput,
+                    expected_throughput=expected_throughput,
+                )
+            )
+        return result
+
+    def _estimated_strategy_weight(
+        self, policy: Policy, round_index: int, strategy: Strategy
+    ) -> Optional[float]:
+        estimated_weights = getattr(policy, "estimated_weights", None)
+        if not callable(estimated_weights):
+            return None
+        weights = estimated_weights(round_index)
+        return float(sum(weights[arm] for arm in strategy.arms(self._graph)))

@@ -1,0 +1,106 @@
+"""Round timing model (Fig. 2 and Table II of the paper).
+
+Each round of length ``t_a`` is split into a strategy-decision part ``t_s``
+and a data-transmission part ``t_d``; the strategy decision consists of ``c``
+mini-rounds of length ``t_m = 2 t_b + t_l`` (one local broadcast before and
+after a local computation).  The paper's simulation values (Table II):
+
+=====================  =======
+round ``t_a``          2000 ms
+local broadcast t_b     100 ms
+local computation t_l    50 ms
+data transmission t_d  1000 ms
+=====================  =======
+
+with ``t_s = 4 t_m`` giving ``t_m = 250 ms``, ``t_s = 1000 ms`` and an
+effective throughput factor ``theta = t_d / t_a = 0.5``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TimingConfig"]
+
+
+@dataclass(frozen=True)
+class TimingConfig:
+    """Timing parameters of a single round, all in milliseconds."""
+
+    local_broadcast_ms: float = 100.0
+    local_computation_ms: float = 50.0
+    data_transmission_ms: float = 1000.0
+    #: Number of mini-rounds in the strategy-decision part (the paper's
+    #: simulations set ``t_s = 4 t_m``, i.e. one weight-update mini-round plus
+    #: three strategy-decision mini-rounds).
+    decision_mini_rounds: int = 4
+
+    def __post_init__(self) -> None:
+        if self.local_broadcast_ms < 0 or self.local_computation_ms < 0:
+            raise ValueError("broadcast and computation times must be non-negative")
+        if self.data_transmission_ms <= 0:
+            raise ValueError("data_transmission_ms must be positive")
+        if self.decision_mini_rounds < 0:
+            raise ValueError("decision_mini_rounds must be non-negative")
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def mini_round_ms(self) -> float:
+        """Length of one mini-round: ``t_m = 2 t_b + t_l``."""
+        return 2.0 * self.local_broadcast_ms + self.local_computation_ms
+
+    @property
+    def strategy_decision_ms(self) -> float:
+        """Length of the strategy-decision part: ``t_s = c * t_m``."""
+        return self.decision_mini_rounds * self.mini_round_ms
+
+    @property
+    def round_ms(self) -> float:
+        """Full round length ``t_a = t_s + t_d``."""
+        return self.strategy_decision_ms + self.data_transmission_ms
+
+    @property
+    def theta(self) -> float:
+        """Effective-throughput factor ``theta = t_d / t_a``."""
+        return self.data_transmission_ms / self.round_ms
+
+    # ------------------------------------------------------------------
+    # Throughput scaling
+    # ------------------------------------------------------------------
+    def effective_throughput(self, reward: float) -> float:
+        """Per-round throughput corrected for the time spent on learning."""
+        return self.theta * reward
+
+    def period_efficiency(self, period_slots: int) -> float:
+        """Effective-throughput factor of a ``y``-slot update period.
+
+        Section V-C: when the strategy is decided once per period of ``y``
+        slots, the first slot only transmits for ``t_d`` while the remaining
+        ``y - 1`` slots transmit for the full ``t_a``, so the efficiency is
+        ``((y - 1) t_a + t_d) / (y t_a)``.  With the paper parameters this is
+        1/2, 9/10, 19/20 and 39/40 for ``y`` = 1, 5, 10, 20.
+        """
+        if period_slots < 1:
+            raise ValueError(f"period_slots must be >= 1, got {period_slots}")
+        y = float(period_slots)
+        return ((y - 1.0) * self.round_ms + self.data_transmission_ms) / (y * self.round_ms)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def paper_defaults(cls) -> "TimingConfig":
+        """The Table II values used by all paper experiments."""
+        return cls()
+
+    @classmethod
+    def ideal(cls) -> "TimingConfig":
+        """No learning overhead (``theta`` approaches 1): zero-cost decisions."""
+        return cls(
+            local_broadcast_ms=0.0,
+            local_computation_ms=0.0,
+            data_transmission_ms=1000.0,
+            decision_mini_rounds=0,
+        )

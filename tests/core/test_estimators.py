@@ -1,0 +1,158 @@
+"""Tests for repro.core.estimators."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.estimators import WeightEstimator
+
+
+class TestUpdates:
+    def test_initial_state(self):
+        estimator = WeightEstimator(4)
+        assert estimator.total_plays == 0
+        assert (estimator.means == 0.0).all()
+        assert (estimator.counts == 0).all()
+
+    def test_single_observation(self):
+        estimator = WeightEstimator(3)
+        estimator.update({1: 5.0})
+        assert estimator.mean(1) == 5.0
+        assert estimator.count(1) == 1
+        assert estimator.mean(0) == 0.0
+
+    def test_incremental_mean_matches_batch_mean(self, rng):
+        estimator = WeightEstimator(1)
+        values = rng.uniform(0, 10, size=50)
+        for value in values:
+            estimator.update({0: float(value)})
+        assert estimator.mean(0) == pytest.approx(float(np.mean(values)))
+        assert estimator.count(0) == 50
+
+    def test_unplayed_arms_untouched(self):
+        estimator = WeightEstimator(3)
+        estimator.update({0: 2.0})
+        estimator.update({2: 4.0})
+        assert estimator.count(1) == 0
+        assert estimator.mean(1) == 0.0
+
+    def test_reset(self):
+        estimator = WeightEstimator(2)
+        estimator.update({0: 1.0, 1: 2.0})
+        estimator.reset()
+        assert estimator.total_plays == 0
+        assert (estimator.means == 0.0).all()
+
+    def test_invalid_arm_rejected(self):
+        estimator = WeightEstimator(2)
+        with pytest.raises(ValueError):
+            estimator.update({5: 1.0})
+        with pytest.raises(ValueError):
+            estimator.mean(-1)
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            WeightEstimator(0)
+
+    def test_snapshot_returns_copies(self):
+        estimator = WeightEstimator(2)
+        snapshot = estimator.snapshot()
+        snapshot["means"][0] = 99.0
+        assert estimator.mean(0) == 0.0
+
+
+class TestExplorationIndex:
+    def test_unplayed_arms_have_infinite_bonus(self):
+        estimator = WeightEstimator(3)
+        estimator.update({0: 1.0})
+        bonus = estimator.exploration_bonus(round_index=2)
+        assert math.isinf(bonus[1]) and math.isinf(bonus[2])
+        assert np.isfinite(bonus[0])
+
+    def test_bonus_matches_equation_3(self):
+        estimator = WeightEstimator(4)  # K = 4
+        for _ in range(3):
+            estimator.update({0: 1.0})  # m_0 = 3
+        t = 10
+        expected = math.sqrt(
+            max(math.log(t ** (2.0 / 3.0) * 4 / 3), 0.0) / 3
+        )
+        assert estimator.exploration_bonus(t)[0] == pytest.approx(expected)
+
+    def test_bonus_is_zero_when_log_term_negative(self):
+        estimator = WeightEstimator(1)
+        for _ in range(100):
+            estimator.update({0: 1.0})
+        # ln(t^{2/3} K / m) < 0 when m >> t^{2/3} K, so max(, 0) clips to 0.
+        assert estimator.exploration_bonus(2)[0] == 0.0
+
+    def test_bonus_decreases_with_plays(self):
+        many = WeightEstimator(2)
+        few = WeightEstimator(2)
+        for _ in range(20):
+            many.update({0: 1.0})
+        few.update({0: 1.0})
+        t = 50
+        assert many.exploration_bonus(t)[0] < few.exploration_bonus(t)[0]
+
+    def test_index_weights_cap(self):
+        estimator = WeightEstimator(2)
+        estimator.update({0: 1.0})
+        capped = estimator.index_weights(5, cap=10.0)
+        assert capped[1] == 10.0
+        assert capped[0] <= 10.0
+
+    def test_scale_multiplies_bonus_only(self):
+        estimator = WeightEstimator(2)
+        estimator.update({0: 2.0})
+        base = estimator.index_weights(5)[0]
+        scaled = estimator.index_weights(5, scale=10.0)[0]
+        assert scaled - 2.0 == pytest.approx((base - 2.0) * 10.0)
+
+    def test_invalid_round_index(self):
+        estimator = WeightEstimator(2)
+        with pytest.raises(ValueError):
+            estimator.exploration_bonus(0)
+        with pytest.raises(ValueError):
+            estimator.index_weights(0)
+
+    def test_invalid_scale(self):
+        estimator = WeightEstimator(2)
+        with pytest.raises(ValueError):
+            estimator.index_weights(1, scale=0.0)
+
+
+class TestLLRIndex:
+    def test_llr_bonus_formula(self):
+        estimator = WeightEstimator(3)
+        for _ in range(4):
+            estimator.update({1: 2.0})
+        t, length = 20, 5
+        expected = 2.0 + math.sqrt((length + 1) * math.log(t) / 4)
+        assert estimator.llr_index_weights(t, length)[1] == pytest.approx(expected)
+
+    def test_llr_unplayed_arms_infinite(self):
+        estimator = WeightEstimator(2)
+        weights = estimator.llr_index_weights(5, 3)
+        assert math.isinf(weights[0]) and math.isinf(weights[1])
+
+    def test_llr_bonus_larger_than_paper_bonus_for_long_strategies(self):
+        # The LLR index over-explores relative to eq. (3) when L is large,
+        # which is the mechanism behind the Fig. 8 estimation gap.
+        estimator = WeightEstimator(10)
+        for _ in range(5):
+            estimator.update({0: 1.0})
+        t = 50
+        paper = estimator.index_weights(t)[0] - 1.0
+        llr = estimator.llr_index_weights(t, strategy_length=15)[0] - 1.0
+        assert llr > paper
+
+    def test_llr_invalid_arguments(self):
+        estimator = WeightEstimator(2)
+        with pytest.raises(ValueError):
+            estimator.llr_index_weights(0, 3)
+        with pytest.raises(ValueError):
+            estimator.llr_index_weights(5, 0)
+        with pytest.raises(ValueError):
+            estimator.llr_index_weights(5, 3, scale=-1.0)

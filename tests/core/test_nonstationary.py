@@ -1,0 +1,169 @@
+"""Tests for repro.core.nonstationary (sliding window / dynamic oracle)."""
+
+import numpy as np
+import pytest
+
+from repro.channels.dynamics import GilbertElliottChannel
+from repro.channels.state import ChannelState
+from repro.core.nonstationary import (
+    DynamicOraclePolicy,
+    SlidingWindowEstimator,
+    SlidingWindowUCBPolicy,
+)
+from repro.core.policies import CombinatorialUCBPolicy
+from repro.graph.conflict_graph import ConflictGraph
+from repro.graph.extended import ExtendedConflictGraph
+from repro.mwis.exact import ExactMWISSolver
+
+
+class TestSlidingWindowEstimator:
+    def test_mean_over_window_only(self):
+        estimator = SlidingWindowEstimator(num_arms=2, window=3)
+        for value in [10.0, 10.0, 10.0, 1.0, 1.0, 1.0]:
+            estimator.update({0: value})
+        # Only the last three observations (all 1.0) remain.
+        assert estimator.means[0] == pytest.approx(1.0)
+        assert estimator.counts[0] == 3
+
+    def test_adapts_faster_than_full_history_mean(self):
+        window = SlidingWindowEstimator(num_arms=1, window=5)
+        from repro.core.estimators import WeightEstimator
+
+        full = WeightEstimator(1)
+        for value in [10.0] * 50 + [1.0] * 5:
+            window.update({0: value})
+            full.update({0: value})
+        assert window.means[0] == pytest.approx(1.0)
+        assert full.means[0] > 5.0
+
+    def test_unplayed_arm_has_infinite_index(self):
+        estimator = SlidingWindowEstimator(num_arms=2, window=4)
+        estimator.update({0: 1.0})
+        weights = estimator.index_weights(round_index=3)
+        assert np.isinf(weights[1])
+        assert np.isfinite(weights[0])
+
+    def test_reset(self):
+        estimator = SlidingWindowEstimator(num_arms=1, window=2)
+        estimator.update({0: 3.0})
+        estimator.reset()
+        assert estimator.counts[0] == 0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            SlidingWindowEstimator(0, 3)
+        with pytest.raises(ValueError):
+            SlidingWindowEstimator(2, 0)
+        estimator = SlidingWindowEstimator(2, 3)
+        with pytest.raises(ValueError):
+            estimator.update({9: 1.0})
+        with pytest.raises(ValueError):
+            estimator.index_weights(0)
+        with pytest.raises(ValueError):
+            estimator.index_weights(1, scale=0.0)
+
+
+class TestSlidingWindowUCBPolicy:
+    def test_recovers_after_a_channel_quality_flip(self, rng):
+        # One isolated user, two channels whose quality swaps half way
+        # through: the windowed policy must switch to the newly-best channel.
+        graph = ConflictGraph(1, [], num_channels=2)
+        extended = ExtendedConflictGraph(graph)
+        policy = SlidingWindowUCBPolicy(extended, window=20, solver=ExactMWISSolver())
+        means_phase1 = {0: 10.0, 1: 1.0}
+        means_phase2 = {0: 1.0, 1: 10.0}
+        chosen_late = []
+        for t in range(1, 301):
+            strategy = policy.select_strategy(t)
+            channel = strategy.channel_of(0)
+            means = means_phase1 if t <= 150 else means_phase2
+            observation = means[channel] + rng.normal(0, 0.1)
+            policy.observe(t, strategy, {extended.vertex_index(0, channel): observation})
+            if t > 270:
+                chosen_late.append(channel)
+        assert chosen_late.count(1) > len(chosen_late) * 0.7
+
+    def test_strategies_always_feasible(self, small_random_extended, rng):
+        channels = ChannelState.random_paper_rates(8, 3, rng=rng)
+        policy = SlidingWindowUCBPolicy(
+            small_random_extended, window=10, solver=ExactMWISSolver()
+        )
+        for t in range(1, 25):
+            strategy = policy.select_strategy(t)
+            assert strategy.is_feasible(small_random_extended)
+            assignment = strategy.as_dict()
+            observations = {
+                small_random_extended.vertex_index(node, channel): channels.sample(
+                    node, channel, rng
+                )
+                for node, channel in assignment.items()
+            }
+            policy.observe(t, strategy, observations)
+
+    def test_invalid_reward_scale(self, small_random_extended):
+        with pytest.raises(ValueError):
+            SlidingWindowUCBPolicy(small_random_extended, window=5, reward_scale=0.0)
+
+
+class TestDynamicOraclePolicy:
+    def test_follows_time_varying_means(self, triangle_extended):
+        K = triangle_extended.num_vertices
+
+        def means_provider(round_index):
+            means = np.ones(K)
+            # Alternate which user's channel 0 is the clear best.
+            best_node = round_index % 3
+            means[triangle_extended.vertex_index(best_node, 0)] = 100.0
+            return means
+
+        policy = DynamicOraclePolicy(triangle_extended, means_provider)
+        for t in (3, 4, 5):
+            strategy = policy.select_strategy(t)
+            assert strategy.channel_of(t % 3) == 0
+
+    def test_static_means_match_static_oracle(self, triangle_extended):
+        means = np.arange(triangle_extended.num_vertices, dtype=float)
+        dynamic = DynamicOraclePolicy(triangle_extended, lambda _t: means)
+        from repro.core.policies import OraclePolicy
+
+        static = OraclePolicy(triangle_extended, means)
+        assert dynamic.select_strategy(1) == static.select_strategy(1)
+
+    def test_wrong_length_rejected(self, triangle_extended):
+        policy = DynamicOraclePolicy(triangle_extended, lambda _t: [1.0, 2.0])
+        with pytest.raises(ValueError):
+            policy.select_strategy(1)
+
+
+class TestWindowedVsStationaryOnDriftingChannels:
+    def test_windowed_policy_beats_stationary_after_drift(self, rng):
+        # Two isolated users on Gilbert-Elliott-like drifting channels
+        # simulated by an abrupt mean flip; the sliding-window learner should
+        # collect at least as much reward after the flip.
+        graph = ConflictGraph(2, [], num_channels=2)
+        extended = ExtendedConflictGraph(graph)
+
+        def run(policy):
+            total_after_flip = 0.0
+            for t in range(1, 401):
+                strategy = policy.select_strategy(t)
+                reward = 0.0
+                observations = {}
+                for node, channel in strategy:
+                    good = 0 if t <= 200 else 1
+                    mean = 10.0 if channel == good else 1.0
+                    value = mean + rng.normal(0, 0.1)
+                    observations[extended.vertex_index(node, channel)] = value
+                    reward += value
+                policy.observe(t, strategy, observations)
+                if t > 300:
+                    total_after_flip += reward
+            return total_after_flip
+
+        windowed = run(
+            SlidingWindowUCBPolicy(extended, window=30, solver=ExactMWISSolver())
+        )
+        stationary = run(
+            CombinatorialUCBPolicy(extended, solver=ExactMWISSolver())
+        )
+        assert windowed >= stationary

@@ -1,0 +1,218 @@
+"""Tests for repro.core.policies."""
+
+import numpy as np
+import pytest
+
+from repro.channels.state import ChannelState
+from repro.core.policies import (
+    CombinatorialUCBPolicy,
+    EpsilonGreedyPolicy,
+    LLRPolicy,
+    NaiveStrategyUCBPolicy,
+    OraclePolicy,
+    RandomPolicy,
+    _enumerate_maximal_independent_sets,
+)
+from repro.graph.conflict_graph import ConflictGraph
+from repro.graph.extended import ExtendedConflictGraph
+from repro.mwis.exact import ExactMWISSolver
+
+
+def play_rounds(policy, channels, graph, num_rounds, rng):
+    """Drive a policy for a few rounds against a channel state."""
+    strategies = []
+    for t in range(1, num_rounds + 1):
+        strategy = policy.select_strategy(t)
+        assert strategy.is_feasible(graph)
+        assignment = strategy.as_dict()
+        observations = {
+            graph.vertex_index(node, channel): channels.sample(node, channel, rng)
+            for node, channel in assignment.items()
+        }
+        policy.observe(t, strategy, observations)
+        strategies.append(strategy)
+    return strategies
+
+
+class TestCombinatorialUCBPolicy:
+    def test_strategies_are_always_feasible(self, path_extended, rng):
+        channels = ChannelState.random_paper_rates(5, 2, rng=rng)
+        policy = CombinatorialUCBPolicy(path_extended, solver=ExactMWISSolver())
+        play_rounds(policy, channels, path_extended, 30, rng)
+
+    def test_estimator_counts_grow_with_plays(self, path_extended, rng):
+        channels = ChannelState.random_paper_rates(5, 2, rng=rng)
+        policy = CombinatorialUCBPolicy(path_extended, solver=ExactMWISSolver())
+        play_rounds(policy, channels, path_extended, 20, rng)
+        assert policy.estimator.total_plays > 0
+
+    def test_converges_to_optimal_strategy_on_easy_instance(self, rng):
+        # Two isolated users, constant channels: the best channel dominates.
+        graph = ConflictGraph(2, [], num_channels=2)
+        extended = ExtendedConflictGraph(graph)
+        means = np.array([[1.0, 5.0], [4.0, 2.0]])
+        channels = ChannelState.from_mean_matrix(means, relative_std=0.01)
+        policy = CombinatorialUCBPolicy(extended, solver=ExactMWISSolver())
+        strategies = play_rounds(policy, channels, extended, 60, rng)
+        final = strategies[-1].as_dict()
+        assert final == {0: 1, 1: 0}
+
+    def test_reward_scale_validation(self, path_extended):
+        with pytest.raises(ValueError):
+            CombinatorialUCBPolicy(path_extended, reward_scale=0.0)
+
+    def test_reset_clears_estimator(self, path_extended, rng):
+        channels = ChannelState.random_paper_rates(5, 2, rng=rng)
+        policy = CombinatorialUCBPolicy(path_extended, solver=ExactMWISSolver())
+        play_rounds(policy, channels, path_extended, 5, rng)
+        policy.reset()
+        assert policy.estimator.total_plays == 0
+
+    def test_estimated_weights_are_finite(self, path_extended):
+        policy = CombinatorialUCBPolicy(path_extended, solver=ExactMWISSolver())
+        weights = policy.estimated_weights(1)
+        assert np.isfinite(weights).all()
+
+
+class TestLLRPolicy:
+    def test_strategies_are_feasible(self, path_extended, rng):
+        channels = ChannelState.random_paper_rates(5, 2, rng=rng)
+        policy = LLRPolicy(path_extended, solver=ExactMWISSolver())
+        play_rounds(policy, channels, path_extended, 30, rng)
+
+    def test_invalid_strategy_length(self, path_extended):
+        with pytest.raises(ValueError):
+            LLRPolicy(path_extended, strategy_length=0)
+
+    def test_invalid_reward_scale(self, path_extended):
+        with pytest.raises(ValueError):
+            LLRPolicy(path_extended, reward_scale=-1.0)
+
+    def test_llr_explores_more_than_paper_policy(self, rng):
+        # With identical observations, the LLR index of a played arm exceeds
+        # the paper's index because its bonus is larger (L + 1 factor).
+        graph = ConflictGraph(4, [], num_channels=3)
+        extended = ExtendedConflictGraph(graph)
+        paper = CombinatorialUCBPolicy(extended, solver=ExactMWISSolver())
+        llr = LLRPolicy(extended, solver=ExactMWISSolver())
+        observations = {0: 1.0}
+        for policy in (paper, llr):
+            policy.observe(1, None, observations)
+        assert llr.estimated_weights(10)[0] >= paper.estimated_weights(10)[0]
+
+
+class TestOraclePolicy:
+    def test_plays_optimal_strategy(self, triangle_extended):
+        true_means = np.arange(triangle_extended.num_vertices, dtype=float)
+        policy = OraclePolicy(triangle_extended, true_means)
+        strategy = policy.select_strategy(1)
+        exact = ExactMWISSolver().solve(
+            triangle_extended.adjacency_sets(), true_means
+        )
+        assert strategy.arms(triangle_extended) == frozenset(exact.vertices)
+        assert policy.optimal_value() == pytest.approx(exact.weight)
+
+    def test_strategy_is_cached(self, triangle_extended):
+        true_means = np.ones(triangle_extended.num_vertices)
+        policy = OraclePolicy(triangle_extended, true_means)
+        assert policy.select_strategy(1) is policy.select_strategy(50)
+
+    def test_wrong_mean_length_rejected(self, triangle_extended):
+        with pytest.raises(ValueError):
+            OraclePolicy(triangle_extended, [1.0, 2.0])
+
+    def test_observe_is_noop(self, triangle_extended):
+        true_means = np.ones(triangle_extended.num_vertices)
+        policy = OraclePolicy(triangle_extended, true_means)
+        policy.observe(1, policy.select_strategy(1), {0: 1.0})
+        assert policy.select_strategy(2) == policy.select_strategy(1)
+
+
+class TestRandomPolicy:
+    def test_strategies_are_feasible_and_maximal(self, small_random_extended, rng):
+        policy = RandomPolicy(small_random_extended, rng=rng)
+        for t in range(1, 15):
+            strategy = policy.select_strategy(t)
+            assert strategy.is_feasible(small_random_extended)
+            # Maximality: no vertex can be added without breaking independence.
+            chosen = strategy.arms(small_random_extended)
+            for vertex in small_random_extended.vertices():
+                if vertex in chosen:
+                    continue
+                assert not small_random_extended.is_independent_set(
+                    set(chosen) | {vertex}
+                )
+
+    def test_randomness_uses_injected_generator(self, small_random_extended):
+        a = RandomPolicy(small_random_extended, rng=np.random.default_rng(1))
+        b = RandomPolicy(small_random_extended, rng=np.random.default_rng(1))
+        assert a.select_strategy(1) == b.select_strategy(1)
+
+
+class TestEpsilonGreedyPolicy:
+    def test_invalid_epsilon(self, path_extended):
+        with pytest.raises(ValueError):
+            EpsilonGreedyPolicy(path_extended, epsilon=1.5)
+
+    def test_learns_true_means_with_exploration(self, rng):
+        graph = ConflictGraph(2, [], num_channels=2)
+        extended = ExtendedConflictGraph(graph)
+        means = np.array([[1.0, 9.0], [8.0, 2.0]])
+        channels = ChannelState.from_mean_matrix(means, relative_std=0.01)
+        policy = EpsilonGreedyPolicy(extended, epsilon=0.5, rng=rng)
+        play_rounds(policy, channels, extended, 150, rng)
+        learned = policy.estimator.means
+        # After enough exploration the estimator ranks the channels correctly
+        # for both users, so the exploit step would pick the optimum.
+        assert learned[extended.vertex_index(0, 1)] > learned[extended.vertex_index(0, 0)]
+        assert learned[extended.vertex_index(1, 0)] > learned[extended.vertex_index(1, 1)]
+
+    def test_feasible_under_full_exploration(self, small_random_extended, rng):
+        channels = ChannelState.random_paper_rates(8, 3, rng=rng)
+        policy = EpsilonGreedyPolicy(small_random_extended, epsilon=1.0, rng=rng)
+        play_rounds(policy, channels, small_random_extended, 10, rng)
+
+
+class TestNaiveStrategyUCB:
+    def test_enumeration_counts_maximal_sets_on_triangle(self, triangle_extended):
+        sets = _enumerate_maximal_independent_sets(
+            triangle_extended.adjacency_sets(), max_count=10000
+        )
+        # Every maximal IS of the Fig. 1 graph assigns a distinct channel to
+        # each of the 3 mutually conflicting users: 3! = 6 possibilities.
+        assert len(sets) == 6
+
+    def test_policy_plays_each_strategy_once_first(self, triangle_extended, rng):
+        channels = ChannelState.random_paper_rates(3, 3, rng=rng)
+        policy = NaiveStrategyUCBPolicy(triangle_extended)
+        seen = set()
+        for t in range(1, policy.num_strategies + 1):
+            strategy = policy.select_strategy(t)
+            seen.add(strategy)
+            assignment = strategy.as_dict()
+            observations = {
+                triangle_extended.vertex_index(node, channel): channels.sample(
+                    node, channel, rng
+                )
+                for node, channel in assignment.items()
+            }
+            policy.observe(t, strategy, observations)
+        assert len(seen) == policy.num_strategies
+
+    def test_observe_before_select_rejected(self, triangle_extended):
+        policy = NaiveStrategyUCBPolicy(triangle_extended)
+        with pytest.raises(RuntimeError):
+            policy.observe(1, None, {0: 1.0})
+
+    def test_strategy_count_limit_enforced(self, small_random_extended):
+        with pytest.raises(ValueError):
+            NaiveStrategyUCBPolicy(small_random_extended, max_strategies=2)
+
+    def test_exponential_blowup_vs_linear_arms(self, triangle_extended):
+        # The naive formulation stores one arm per strategy (6 here), the
+        # paper's formulation one estimate per virtual vertex (9 = N*M); on
+        # larger networks the former explodes while the latter stays linear.
+        naive = NaiveStrategyUCBPolicy(triangle_extended)
+        paper = CombinatorialUCBPolicy(triangle_extended, solver=ExactMWISSolver())
+        assert naive.num_strategies == 6
+        assert paper.estimator.num_arms == 9

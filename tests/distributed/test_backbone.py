@@ -1,0 +1,138 @@
+"""Tests for repro.distributed.backbone (CDS broadcast backbone)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.distributed.backbone import (
+    greedy_connected_dominating_set,
+    greedy_dominating_set,
+    is_connected_within,
+    is_dominating_set,
+    pipelined_broadcast_timeslots,
+)
+from repro.graph.extended import ExtendedConflictGraph
+from repro.graph.topology import connected_random_network, linear_network, star_network
+
+
+class TestDominatingSet:
+    def test_star_is_dominated_by_hub(self):
+        graph = star_network(6, 1)
+        chosen = greedy_dominating_set(graph.adjacency_sets())
+        assert chosen == {0}
+        assert is_dominating_set(graph.adjacency_sets(), chosen)
+
+    def test_path_dominating_set(self):
+        graph = linear_network(7, 1, spacing=1.0, radius=1.0)
+        adjacency = graph.adjacency_sets()
+        chosen = greedy_dominating_set(adjacency)
+        assert is_dominating_set(adjacency, chosen)
+        assert len(chosen) <= 3
+
+    def test_isolated_vertices_dominate_themselves(self):
+        adjacency = [set(), set(), {3}, {2}]
+        chosen = greedy_dominating_set(adjacency)
+        assert is_dominating_set(adjacency, chosen)
+        assert {0, 1}.issubset(chosen)
+
+    def test_is_dominating_set_detects_uncovered_vertex(self):
+        adjacency = [{1}, {0}, set()]
+        assert not is_dominating_set(adjacency, {0})
+        assert is_dominating_set(adjacency, {0, 2})
+
+
+class TestConnectedDominatingSet:
+    def test_cds_on_random_network(self, rng):
+        graph = connected_random_network(25, 2, average_degree=5.0, rng=rng)
+        adjacency = graph.adjacency_sets()
+        backbone = greedy_connected_dominating_set(adjacency)
+        assert is_dominating_set(adjacency, backbone)
+        assert is_connected_within(adjacency, backbone)
+
+    def test_cds_on_path(self):
+        graph = linear_network(9, 1, spacing=1.0, radius=1.0)
+        adjacency = graph.adjacency_sets()
+        backbone = greedy_connected_dominating_set(adjacency)
+        assert is_dominating_set(adjacency, backbone)
+        assert is_connected_within(adjacency, backbone)
+
+    def test_cds_on_extended_graph(self, small_random_extended):
+        adjacency = small_random_extended.adjacency_sets()
+        backbone = greedy_connected_dominating_set(adjacency)
+        assert is_dominating_set(adjacency, backbone)
+
+    def test_cds_handles_disconnected_graphs_per_component(self):
+        adjacency = [{1}, {0, 2}, {1}, {4}, {3, 5}, {4}]
+        backbone = greedy_connected_dominating_set(adjacency)
+        assert is_dominating_set(adjacency, backbone)
+        # The backbone restricted to each component is connected.
+        assert is_connected_within(adjacency, backbone & {0, 1, 2})
+        assert is_connected_within(adjacency, backbone & {3, 4, 5})
+
+    def test_is_connected_within_trivial_cases(self):
+        assert is_connected_within([set()], set())
+        assert is_connected_within([set()], {0})
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=1, max_value=12), st.data())
+def test_cds_properties_on_random_graphs(n, data):
+    adjacency = [set() for _ in range(n)]
+    for i in range(n):
+        for j in range(i + 1, n):
+            if data.draw(st.booleans()):
+                adjacency[i].add(j)
+                adjacency[j].add(i)
+    backbone = greedy_connected_dominating_set(adjacency)
+    assert is_dominating_set(adjacency, backbone)
+    for start in range(n):
+        component = _component_of(adjacency, start)
+        assert is_connected_within(adjacency, backbone & component)
+
+
+def _component_of(adjacency, start):
+    from collections import deque
+
+    seen = {start}
+    queue = deque([start])
+    while queue:
+        vertex = queue.popleft()
+        for neighbor in adjacency[vertex]:
+            if neighbor not in seen:
+                seen.add(neighbor)
+                queue.append(neighbor)
+    return seen
+
+
+class TestPipelinedBroadcast:
+    def test_zero_messages(self):
+        assert pipelined_broadcast_timeslots(0, 5) == 0
+
+    def test_single_message_costs_radius(self):
+        assert pipelined_broadcast_timeslots(1, 5) == 5
+
+    def test_pipelining_beats_sequential_flooding(self):
+        k, radius = 25, 5  # k = (2r+1)^2 selected vertices, radius = 2r+1
+        pipelined = pipelined_broadcast_timeslots(k, radius)
+        sequential = k * radius
+        assert pipelined == radius + k - 1
+        assert pipelined < sequential
+
+    def test_backbone_cap(self):
+        assert pipelined_broadcast_timeslots(3, 10, backbone_size=2) == 2 + 3 - 1
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            pipelined_broadcast_timeslots(-1, 2)
+        with pytest.raises(ValueError):
+            pipelined_broadcast_timeslots(1, -2)
+        with pytest.raises(ValueError):
+            pipelined_broadcast_timeslots(1, 2, backbone_size=-1)
+
+    def test_wb_phase_complexity_claim(self):
+        # The paper's claim: with pipelining the WB phase inside a (2r+1)-hop
+        # neighbourhood costs O((2r+1)^2) mini-timeslots for the O((2r+1)^2)
+        # selected vertices, instead of O((2r+1)^3) sequentially.
+        r = 2
+        k = (2 * r + 1) ** 2
+        assert pipelined_broadcast_timeslots(k, 2 * r + 1) <= 2 * (2 * r + 1) ** 2

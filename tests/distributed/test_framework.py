@@ -1,0 +1,66 @@
+"""Tests for repro.distributed.framework (the MWIS-solver adapter)."""
+
+import numpy as np
+import pytest
+
+from repro.distributed.framework import DistributedMWISSolver
+from repro.graph.extended import ExtendedConflictGraph
+from repro.mwis.base import is_independent
+from repro.mwis.greedy import GreedyMWISSolver
+
+
+class TestDistributedMWISSolver:
+    def test_solve_returns_independent_set(self, small_random_extended, rng):
+        solver = DistributedMWISSolver(small_random_extended, r=1)
+        weights = rng.uniform(0.1, 1.0, size=small_random_extended.num_vertices)
+        solution = solver.solve(small_random_extended.adjacency_sets(), weights)
+        assert is_independent(small_random_extended.adjacency_sets(), solution.vertices)
+
+    def test_last_result_exposed(self, small_random_extended, rng):
+        solver = DistributedMWISSolver(small_random_extended, r=1)
+        assert solver.last_result is None
+        weights = rng.uniform(0.1, 1.0, size=small_random_extended.num_vertices)
+        solver.solve(small_random_extended.adjacency_sets(), weights)
+        assert solver.last_result is not None
+        assert solver.last_result.independent_set.weight > 0
+
+    def test_previous_strategy_broadcasts_on_next_round(self, small_random_extended, rng):
+        solver = DistributedMWISSolver(small_random_extended, r=1)
+        weights = rng.uniform(0.1, 1.0, size=small_random_extended.num_vertices)
+        solver.solve(small_random_extended.adjacency_sets(), weights)
+        first_wb = solver.last_result.costs.communication.mini_timeslots_per_phase["WB"]
+        solver.solve(small_random_extended.adjacency_sets(), weights)
+        second_wb = solver.last_result.costs.communication.mini_timeslots_per_phase["WB"]
+        # First round: every vertex broadcasts.  Later rounds: only the
+        # previous strategy's members do, which is much cheaper.
+        assert second_wb < first_wb
+
+    def test_reset_clears_previous_strategy(self, small_random_extended, rng):
+        solver = DistributedMWISSolver(small_random_extended, r=1)
+        weights = rng.uniform(0.1, 1.0, size=small_random_extended.num_vertices)
+        solver.solve(small_random_extended.adjacency_sets(), weights)
+        solver.reset()
+        assert solver.last_result is None
+        solver.solve(small_random_extended.adjacency_sets(), weights)
+        wb = solver.last_result.costs.communication.mini_timeslots_per_phase["WB"]
+        # After a reset the first round broadcasts from every vertex again.
+        assert wb >= small_random_extended.num_vertices
+
+    def test_wrong_adjacency_size_rejected(self, small_random_extended, rng):
+        solver = DistributedMWISSolver(small_random_extended, r=1)
+        with pytest.raises(ValueError):
+            solver.solve([set()], [1.0])
+
+    def test_custom_local_solver_accepted(self, small_random_extended, rng):
+        solver = DistributedMWISSolver(
+            small_random_extended, r=1, local_solver=GreedyMWISSolver()
+        )
+        weights = rng.uniform(0.1, 1.0, size=small_random_extended.num_vertices)
+        solution = solver.solve(small_random_extended.adjacency_sets(), weights)
+        assert is_independent(small_random_extended.adjacency_sets(), solution.vertices)
+
+    def test_mini_round_budget_respected(self, small_random_extended, rng):
+        solver = DistributedMWISSolver(small_random_extended, r=1, max_mini_rounds=2)
+        weights = rng.uniform(0.1, 1.0, size=small_random_extended.num_vertices)
+        solver.solve(small_random_extended.adjacency_sets(), weights)
+        assert solver.last_result.num_mini_rounds <= 2

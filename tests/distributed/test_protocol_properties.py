@@ -1,0 +1,97 @@
+"""Property-based tests of the distributed protocol (hypothesis).
+
+The single most important invariant of the whole system is that the
+distributed strategy decision always yields an independent set of the
+extended conflict graph — otherwise transmissions would collide and the
+throughput accounting would be meaningless.  These tests fuzz the protocol
+over random topologies, weight vectors, radii and mini-round budgets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.distributed.ptas import DistributedRobustPTAS
+from repro.graph.conflict_graph import ConflictGraph
+from repro.graph.extended import ExtendedConflictGraph
+from repro.mwis.base import is_independent
+from repro.mwis.exact import ExactMWISSolver
+
+
+@st.composite
+def conflict_graph_and_weights(draw):
+    """Random conflict graph G, channel count M and weight vector over H."""
+    num_nodes = draw(st.integers(min_value=1, max_value=7))
+    num_channels = draw(st.integers(min_value=1, max_value=3))
+    edges = []
+    for i in range(num_nodes):
+        for j in range(i + 1, num_nodes):
+            if draw(st.booleans()):
+                edges.append((i, j))
+    graph = ConflictGraph(num_nodes, edges, num_channels)
+    extended = ExtendedConflictGraph(graph)
+    weights = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+            min_size=extended.num_vertices,
+            max_size=extended.num_vertices,
+        )
+    )
+    return extended, weights
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=conflict_graph_and_weights(), r=st.integers(min_value=1, max_value=2))
+def test_protocol_always_outputs_an_independent_set(data, r):
+    extended, weights = data
+    protocol = DistributedRobustPTAS(extended.adjacency_sets(), r=r)
+    result = protocol.run(weights)
+    assert is_independent(extended.adjacency_sets(), result.independent_set.vertices)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    data=conflict_graph_and_weights(),
+    budget=st.integers(min_value=1, max_value=3),
+)
+def test_truncated_protocol_output_is_still_independent(data, budget):
+    extended, weights = data
+    protocol = DistributedRobustPTAS(
+        extended.adjacency_sets(), r=1, max_mini_rounds=budget
+    )
+    result = protocol.run(weights)
+    assert is_independent(extended.adjacency_sets(), result.independent_set.vertices)
+    assert result.num_mini_rounds <= budget
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=conflict_graph_and_weights())
+def test_protocol_never_exceeds_exact_optimum(data):
+    extended, weights = data
+    protocol = DistributedRobustPTAS(extended.adjacency_sets(), r=1)
+    result = protocol.run(weights)
+    exact = ExactMWISSolver().solve(extended.adjacency_sets(), weights)
+    assert result.independent_set.weight <= exact.weight + 1e-6
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=conflict_graph_and_weights())
+def test_at_most_one_channel_per_node(data):
+    extended, weights = data
+    protocol = DistributedRobustPTAS(extended.adjacency_sets(), r=1)
+    result = protocol.run(weights)
+    masters = [extended.master_of(v) for v in result.independent_set.vertices]
+    assert len(masters) == len(set(masters))
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=conflict_graph_and_weights())
+def test_converged_run_marks_every_vertex(data):
+    extended, weights = data
+    protocol = DistributedRobustPTAS(extended.adjacency_sets(), r=2)
+    result = protocol.run(weights)
+    assert result.converged
+    if result.mini_rounds:
+        assert result.mini_rounds[-1].remaining_candidates == 0

@@ -1,0 +1,197 @@
+"""Tests for repro.distributed.ptas (Algorithm 3)."""
+
+import numpy as np
+import pytest
+
+from repro.channels.catalog import assign_rates_to_network
+from repro.distributed.ptas import DistributedRobustPTAS
+from repro.graph.extended import ExtendedConflictGraph
+from repro.graph.topology import linear_network, random_network
+from repro.mwis.base import is_independent
+from repro.mwis.exact import ExactMWISSolver
+
+
+def build_protocol(graph, r=1, **kwargs):
+    extended = ExtendedConflictGraph(graph)
+    protocol = DistributedRobustPTAS(extended.adjacency_sets(), r=r, **kwargs)
+    return extended, protocol
+
+
+class TestBasicExecution:
+    def test_output_is_independent_set(self, small_random_graph, rng):
+        extended, protocol = build_protocol(small_random_graph, r=2)
+        weights = rng.uniform(0.1, 1.0, size=extended.num_vertices)
+        result = protocol.run(weights)
+        assert is_independent(extended.adjacency_sets(), result.independent_set.vertices)
+
+    def test_every_vertex_is_marked_when_run_to_convergence(self, small_random_graph, rng):
+        extended, protocol = build_protocol(small_random_graph, r=2)
+        weights = rng.uniform(0.1, 1.0, size=extended.num_vertices)
+        result = protocol.run(weights)
+        assert result.converged
+        assert result.mini_rounds[-1].remaining_candidates == 0
+
+    def test_weight_matches_selected_vertices(self, small_random_graph, rng):
+        extended, protocol = build_protocol(small_random_graph, r=2)
+        weights = rng.uniform(0.1, 1.0, size=extended.num_vertices)
+        result = protocol.run(weights)
+        expected = sum(weights[v] for v in result.independent_set.vertices)
+        assert result.independent_set.weight == pytest.approx(expected)
+
+    def test_weight_trajectory_is_non_decreasing(self, small_random_graph, rng):
+        extended, protocol = build_protocol(small_random_graph, r=2)
+        weights = rng.uniform(0.1, 1.0, size=extended.num_vertices)
+        trajectory = protocol.run(weights).weight_trajectory()
+        assert all(b >= a - 1e-12 for a, b in zip(trajectory, trajectory[1:]))
+
+    def test_deterministic_given_same_weights(self, small_random_graph, rng):
+        extended, protocol = build_protocol(small_random_graph, r=2)
+        weights = rng.uniform(0.1, 1.0, size=extended.num_vertices)
+        first = protocol.run(weights).independent_set.vertices
+        second = protocol.run(weights).independent_set.vertices
+        assert first == second
+
+    def test_rejects_mismatched_weight_length(self, small_random_graph):
+        extended, protocol = build_protocol(small_random_graph, r=1)
+        with pytest.raises(ValueError):
+            protocol.run([1.0])
+
+    def test_rejects_r_zero(self, small_random_graph):
+        extended = ExtendedConflictGraph(small_random_graph)
+        with pytest.raises(ValueError):
+            DistributedRobustPTAS(extended.adjacency_sets(), r=0)
+
+    def test_rejects_invalid_mini_round_budget(self, small_random_graph):
+        extended = ExtendedConflictGraph(small_random_graph)
+        with pytest.raises(ValueError):
+            DistributedRobustPTAS(extended.adjacency_sets(), r=1, max_mini_rounds=0)
+
+
+class TestApproximationQuality:
+    def test_reasonable_ratio_on_random_networks(self):
+        rng = np.random.default_rng(4)
+        ratios = []
+        for seed in range(6):
+            local_rng = np.random.default_rng(seed)
+            graph = random_network(12, 3, average_degree=5.0, rng=local_rng)
+            extended = ExtendedConflictGraph(graph)
+            weights = (
+                assign_rates_to_network(12, 3, rng=local_rng).reshape(-1)
+            )
+            protocol = DistributedRobustPTAS(extended.adjacency_sets(), r=2)
+            dist = protocol.run(weights).independent_set
+            exact = ExactMWISSolver().solve(extended.adjacency_sets(), weights)
+            ratios.append(dist.weight / exact.weight)
+        assert min(ratios) > 0.5
+        assert np.mean(ratios) > 0.75
+
+    def test_singleton_network(self):
+        graph = linear_network(1, 2)
+        extended, protocol = build_protocol(graph, r=1)
+        result = protocol.run([0.3, 0.9])
+        # The single user picks its best channel.
+        assert set(result.independent_set.vertices) == {1}
+
+    def test_all_zero_weights_still_produce_a_nonempty_decision(self, path_graph):
+        extended, protocol = build_protocol(path_graph, r=1)
+        result = protocol.run(np.zeros(extended.num_vertices))
+        # The fallback elects the LocalLeader itself, so at least one vertex
+        # transmits even before anything has been learned.
+        assert len(result.independent_set.vertices) >= 1
+        assert is_independent(
+            extended.adjacency_sets(), result.independent_set.vertices
+        )
+
+
+class TestMiniRoundBudget:
+    def test_linear_network_needs_many_mini_rounds(self):
+        # Fig. 5 worst case: strictly decreasing weights along a line force
+        # one LocalLeader per mini-round.
+        graph = linear_network(10, 1, spacing=1.0, radius=1.0)
+        extended, protocol = build_protocol(graph, r=1)
+        weights = np.linspace(10.0, 1.0, extended.num_vertices)
+        result = protocol.run(weights)
+        assert result.converged
+        assert result.num_mini_rounds >= 3
+
+    def test_truncated_budget_still_independent_but_may_not_converge(self):
+        graph = linear_network(12, 1, spacing=1.0, radius=1.0)
+        extended = ExtendedConflictGraph(graph)
+        protocol = DistributedRobustPTAS(
+            extended.adjacency_sets(), r=1, max_mini_rounds=2
+        )
+        weights = np.linspace(12.0, 1.0, extended.num_vertices)
+        result = protocol.run(weights)
+        assert result.num_mini_rounds <= 2
+        assert is_independent(
+            extended.adjacency_sets(), result.independent_set.vertices
+        )
+        assert not result.converged
+
+    def test_budget_override_per_call(self, small_random_graph, rng):
+        extended, protocol = build_protocol(small_random_graph, r=1)
+        weights = rng.uniform(0.1, 1.0, size=extended.num_vertices)
+        result = protocol.run(weights, max_mini_rounds=1)
+        assert result.num_mini_rounds == 1
+
+    def test_large_diameter_network_makes_progress_every_region(self):
+        # Regression test: on sparse networks of large diameter, a stale
+        # belief that a far-away decided vertex is still a Candidate used to
+        # deadlock the LocalLeader election (no leader elected, no progress).
+        # The (3r+2)-hop determination broadcast removes the staleness, so
+        # the protocol must converge in far fewer mini-rounds than |V(H)|.
+        rng = np.random.default_rng(2014)
+        graph = random_network(40, 3, average_degree=5.0, rng=rng)
+        extended = ExtendedConflictGraph(graph)
+        weights = assign_rates_to_network(40, 3, rng=rng).reshape(-1)
+        protocol = DistributedRobustPTAS(extended.adjacency_sets(), r=2)
+        result = protocol.run(weights)
+        assert result.converged
+        assert result.num_mini_rounds <= extended.num_vertices // 4
+
+    def test_random_network_converges_quickly(self):
+        # Theorem 4 / Fig. 6: random networks converge within a handful of
+        # mini-rounds even when N is much larger.
+        rng = np.random.default_rng(21)
+        graph = random_network(40, 4, average_degree=5.0, rng=rng)
+        extended = ExtendedConflictGraph(graph)
+        weights = assign_rates_to_network(40, 4, rng=rng).reshape(-1)
+        protocol = DistributedRobustPTAS(extended.adjacency_sets(), r=2)
+        result = protocol.run(weights)
+        assert result.converged
+        assert result.num_mini_rounds <= 12
+
+
+class TestCosts:
+    def test_cost_record_shapes(self, small_random_graph, rng):
+        extended, protocol = build_protocol(small_random_graph, r=1)
+        weights = rng.uniform(0.1, 1.0, size=extended.num_vertices)
+        result = protocol.run(weights)
+        costs = result.costs
+        assert len(costs.communication.messages_per_vertex) == extended.num_vertices
+        assert len(costs.stored_weights_per_vertex) == extended.num_vertices
+        assert costs.computation.local_mwis_calls >= 1
+        assert costs.computation.mini_rounds == result.num_mini_rounds
+
+    def test_space_cost_is_neighborhood_size(self, small_random_graph, rng):
+        extended, protocol = build_protocol(small_random_graph, r=1)
+        weights = rng.uniform(0.1, 1.0, size=extended.num_vertices)
+        result = protocol.run(weights)
+        # Each vertex stores one weight per (2r+1)-hop neighbour, never more
+        # than the whole graph.
+        assert result.costs.max_stored_weights <= extended.num_vertices
+
+    def test_wb_phase_charges_only_broadcasting_vertices(self, small_random_graph, rng):
+        extended, protocol = build_protocol(small_random_graph, r=1)
+        weights = rng.uniform(0.1, 1.0, size=extended.num_vertices)
+        full = protocol.run(weights)
+        partial = protocol.run(weights, broadcasting_vertices=[0, 1])
+        full_wb = full.costs.communication.mini_timeslots_per_phase["WB"]
+        partial_wb = partial.costs.communication.mini_timeslots_per_phase["WB"]
+        assert partial_wb < full_wb
+
+    def test_invalid_broadcasting_vertex_rejected(self, small_random_graph, rng):
+        extended, protocol = build_protocol(small_random_graph, r=1)
+        weights = rng.uniform(0.1, 1.0, size=extended.num_vertices)
+        with pytest.raises(ValueError):
+            protocol.run(weights, broadcasting_vertices=[10 ** 6])

@@ -1,0 +1,119 @@
+"""Tests for repro.distributed.vertex."""
+
+import pytest
+
+from repro.distributed.vertex import VertexAgent, VertexStatus
+
+
+@pytest.fixture
+def agent():
+    """Agent for vertex 2 with a small knowledge horizon."""
+    return VertexAgent(2, neighborhood_2r1={0, 1, 2, 3, 4}, neighborhood_r={1, 2, 3})
+
+
+class TestVertexStatus:
+    def test_decided_statuses(self):
+        assert VertexStatus.WINNER.is_decided
+        assert VertexStatus.LOSER.is_decided
+        assert not VertexStatus.CANDIDATE.is_decided
+        assert not VertexStatus.LOCAL_LEADER.is_decided
+
+
+class TestVertexAgentKnowledge:
+    def test_initial_state(self, agent):
+        assert agent.status == VertexStatus.CANDIDATE
+        assert agent.known_statuses[0] == VertexStatus.CANDIDATE
+        assert agent.known_weights == {}
+
+    def test_neighbourhoods_must_contain_self(self):
+        with pytest.raises(ValueError):
+            VertexAgent(5, neighborhood_2r1={0, 1}, neighborhood_r={5})
+
+    def test_observe_weight_inside_horizon(self, agent):
+        agent.observe_weight(1, 3.5)
+        assert agent.known_weights[1] == 3.5
+
+    def test_observe_weight_outside_horizon_is_ignored(self, agent):
+        agent.observe_weight(99, 3.5)
+        assert 99 not in agent.known_weights
+
+    def test_observe_status_updates_candidates(self, agent):
+        agent.observe_status(1, VertexStatus.WINNER)
+        assert agent.known_statuses[1] == VertexStatus.WINNER
+
+    def test_observe_status_never_downgrades_terminal(self, agent):
+        agent.observe_status(1, VertexStatus.WINNER)
+        agent.observe_status(1, VertexStatus.CANDIDATE)
+        assert agent.known_statuses[1] == VertexStatus.WINNER
+
+    def test_observe_status_outside_horizon_ignored(self, agent):
+        agent.observe_status(99, VertexStatus.WINNER)
+        assert 99 not in agent.known_statuses
+
+
+class TestVertexAgentMarking:
+    def test_mark_updates_own_status_and_knowledge(self, agent):
+        agent.mark(VertexStatus.WINNER)
+        assert agent.status == VertexStatus.WINNER
+        assert agent.known_statuses[2] == VertexStatus.WINNER
+
+    def test_conflicting_remark_rejected(self, agent):
+        agent.mark(VertexStatus.LOSER)
+        with pytest.raises(ValueError):
+            agent.mark(VertexStatus.WINNER)
+
+    def test_same_remark_allowed(self, agent):
+        agent.mark(VertexStatus.WINNER)
+        agent.mark(VertexStatus.WINNER)
+        assert agent.status == VertexStatus.WINNER
+
+    def test_leader_then_winner_transition(self, agent):
+        agent.mark(VertexStatus.LOCAL_LEADER)
+        agent.mark(VertexStatus.WINNER)
+        assert agent.status == VertexStatus.WINNER
+
+
+class TestLocalMaximum:
+    def test_unique_max_weight_is_local_maximum(self, agent):
+        weights = {0: 1.0, 1: 2.0, 2: 5.0, 3: 3.0, 4: 0.5}
+        agent.known_weights.update(weights)
+        assert agent.is_local_maximum(agent.known_weights)
+
+    def test_not_local_maximum_when_neighbor_is_heavier(self, agent):
+        weights = {0: 1.0, 1: 9.0, 2: 5.0, 3: 3.0, 4: 0.5}
+        agent.known_weights.update(weights)
+        assert not agent.is_local_maximum(agent.known_weights)
+
+    def test_ties_broken_by_vertex_id(self):
+        low_id = VertexAgent(0, {0, 1}, {0, 1})
+        high_id = VertexAgent(1, {0, 1}, {0, 1})
+        for agent in (low_id, high_id):
+            agent.observe_weight(0, 2.0)
+            agent.observe_weight(1, 2.0)
+        assert low_id.is_local_maximum(low_id.known_weights)
+        assert not high_id.is_local_maximum(high_id.known_weights)
+
+    def test_decided_neighbors_are_ignored(self, agent):
+        weights = {0: 1.0, 1: 9.0, 2: 5.0, 3: 3.0, 4: 0.5}
+        agent.known_weights.update(weights)
+        agent.observe_status(1, VertexStatus.LOSER)
+        assert agent.is_local_maximum(agent.known_weights)
+
+    def test_non_candidate_is_never_local_maximum(self, agent):
+        agent.known_weights.update({v: 1.0 for v in range(5)})
+        agent.mark(VertexStatus.LOSER)
+        assert not agent.is_local_maximum(agent.known_weights)
+
+
+class TestCandidateSets:
+    def test_candidate_set_r_includes_self(self, agent):
+        assert agent.candidate_set_r() == {1, 2, 3}
+
+    def test_candidate_set_r_excludes_decided(self, agent):
+        agent.observe_status(1, VertexStatus.WINNER)
+        agent.observe_status(3, VertexStatus.LOSER)
+        assert agent.candidate_set_r() == {2}
+
+    def test_candidate_neighbors_excludes_self_and_decided(self, agent):
+        agent.observe_status(4, VertexStatus.LOSER)
+        assert agent.candidate_neighbors() == {0, 1, 3}

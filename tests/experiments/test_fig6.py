@@ -1,0 +1,62 @@
+"""Tests for the Fig. 6 convergence experiment."""
+
+import pytest
+
+from repro.experiments.config import Fig6Config
+from repro.experiments.fig6_convergence import format_fig6, run_fig6
+
+
+@pytest.fixture(scope="module")
+def quick_result():
+    return run_fig6(Fig6Config.quick())
+
+
+class TestFig6:
+    def test_one_trajectory_per_network_size(self, quick_result):
+        config = quick_result.config
+        assert len(quick_result.trajectories) == len(config.network_sizes)
+        for num_nodes, num_channels in config.network_sizes:
+            assert f"{num_nodes}x{num_channels}" in quick_result.trajectories
+
+    def test_trajectories_have_requested_length(self, quick_result):
+        for trajectory in quick_result.trajectories.values():
+            assert len(trajectory) == quick_result.config.max_mini_rounds
+
+    def test_trajectories_are_non_decreasing(self, quick_result):
+        for trajectory in quick_result.trajectories.values():
+            assert all(
+                later >= earlier - 1e-9
+                for earlier, later in zip(trajectory, trajectory[1:])
+            )
+
+    def test_trajectories_converge_to_positive_weight(self, quick_result):
+        # The paper's headline observation: every line flattens at a positive
+        # value well before the mini-round budget is exhausted.
+        for label, trajectory in quick_result.trajectories.items():
+            assert trajectory[-1] > 0
+            assert quick_result.convergence_round[label] <= quick_result.config.max_mini_rounds
+
+    def test_convergence_within_a_few_mini_rounds(self, quick_result):
+        # Theorem 4 / Fig. 6: random networks converge after a handful of
+        # mini-rounds (the paper observes 4).
+        for label in quick_result.labels():
+            assert quick_result.convergence_round[label] <= 8
+
+    def test_larger_networks_accumulate_more_weight(self, quick_result):
+        # With the same channel catalogue, a 40-user network schedules more
+        # simultaneous transmissions than a 20-user one.
+        assert (
+            quick_result.trajectories["40x3"][-1]
+            > quick_result.trajectories["20x3"][-1]
+        )
+
+    def test_format_contains_all_labels(self, quick_result):
+        text = format_fig6(quick_result)
+        for label in quick_result.labels():
+            assert label in text
+        assert "Convergence points" in text
+
+    def test_default_config_is_paper_scale(self):
+        config = Fig6Config.paper()
+        assert (200, 10) in config.network_sizes
+        assert config.r == 2

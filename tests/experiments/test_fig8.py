@@ -1,0 +1,63 @@
+"""Tests for the Fig. 8 periodic-update experiment."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import Fig8Config
+from repro.experiments.fig8_periodic import format_fig8, run_fig8
+
+
+@pytest.fixture(scope="module")
+def quick_result():
+    return run_fig8(Fig8Config.quick())
+
+
+class TestFig8:
+    def test_all_periods_and_policies_present(self, quick_result):
+        config = quick_result.config
+        assert set(quick_result.policies()) == {"Algorithm2", "LLR"}
+        for period in config.periods:
+            for policy in quick_result.policies():
+                assert (period, policy) in quick_result.actual
+                assert (period, policy) in quick_result.estimated
+
+    def test_traces_have_one_point_per_period(self, quick_result):
+        num_periods = quick_result.config.num_periods
+        for trace in quick_result.actual.values():
+            assert trace.shape == (num_periods,)
+
+    def test_period_efficiency_values(self, quick_result):
+        assert quick_result.period_efficiency[1] == pytest.approx(0.5)
+        assert quick_result.period_efficiency[5] == pytest.approx(0.9)
+
+    def test_longer_periods_increase_actual_throughput(self, quick_result):
+        # Paper observation 1: infrequent updates waste less time on learning.
+        for policy in quick_result.policies():
+            assert quick_result.final_actual(5, policy) > quick_result.final_actual(
+                1, policy
+            )
+
+    def test_algorithm2_estimation_gap_not_larger_than_llr(self, quick_result):
+        # Paper observation 2: the paper's index tracks the actual throughput
+        # much more closely than LLR's (which over-explores).
+        for period in quick_result.config.periods:
+            assert quick_result.estimation_gap(period, "Algorithm2") <= (
+                quick_result.estimation_gap(period, "LLR") + 0.05
+            )
+
+    def test_traces_are_positive(self, quick_result):
+        for trace in quick_result.actual.values():
+            assert (trace > 0).all()
+
+    def test_format_lists_every_period(self, quick_result):
+        text = format_fig8(quick_result)
+        for period in quick_result.config.periods:
+            assert f"\n{period} " in text or f" {period} " in text
+        assert "Algorithm2" in text and "LLR" in text
+
+    def test_paper_config_matches_section_vc(self):
+        config = Fig8Config.paper()
+        assert config.num_nodes == 100
+        assert config.num_channels == 10
+        assert config.periods == (1, 5, 10, 20)
+        assert config.num_periods == 1000

@@ -1,0 +1,62 @@
+"""Tests for repro.experiments.reporting and the experiment configs."""
+
+import pytest
+
+from repro.experiments.config import ComplexityConfig, Fig6Config, Fig7Config, Fig8Config
+from repro.experiments.reporting import render_series, render_table
+
+
+class TestRenderTable:
+    def test_alignment_and_header_rule(self):
+        text = render_table(["name", "value"], [["a", 1], ["long-name", 2.5]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+
+    def test_float_formatting(self):
+        text = render_table(["x"], [[1.23456789]])
+        assert "1.235" in text
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_body(self):
+        text = render_table(["a"], [])
+        assert text.splitlines()[0] == "a"
+
+
+class TestRenderSeries:
+    def test_short_series_rendered_fully(self):
+        text = render_series("label", [1.0, 2.0, 3.0])
+        assert text.startswith("label:")
+        assert "1" in text and "3" in text
+
+    def test_long_series_is_subsampled_but_keeps_last_value(self):
+        values = list(range(100))
+        text = render_series("trace", values, max_points=10)
+        assert "99" in text
+        assert text.count(",") < 30
+
+
+class TestConfigs:
+    def test_quick_configs_are_smaller_than_paper(self):
+        assert len(Fig6Config.quick().network_sizes) < len(Fig6Config.paper().network_sizes)
+        assert Fig7Config.quick().num_rounds < Fig7Config.paper().num_rounds
+        assert Fig8Config.quick().num_periods < Fig8Config.paper().num_periods
+        assert len(ComplexityConfig.quick().network_sizes) < len(
+            ComplexityConfig.paper().network_sizes
+        )
+
+    def test_paper_fig7_matches_section_vb(self):
+        config = Fig7Config.paper()
+        assert config.num_nodes == 15
+        assert config.num_channels == 3
+        assert config.num_rounds == 1000
+        assert config.r == 2
+
+    def test_configs_are_frozen(self):
+        config = Fig6Config.paper()
+        with pytest.raises(Exception):
+            config.r = 5

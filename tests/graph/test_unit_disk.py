@@ -1,0 +1,65 @@
+"""Tests for repro.graph.unit_disk."""
+
+import pytest
+
+from repro.graph.geometry import Point
+from repro.graph.unit_disk import (
+    DEFAULT_CONFLICT_RADIUS,
+    build_unit_disk_graph,
+    unit_disk_edges,
+)
+
+
+class TestUnitDiskEdges:
+    def test_nodes_within_radius_are_connected(self):
+        points = [Point(0.0, 0.0), Point(1.5, 0.0)]
+        assert unit_disk_edges(points, radius=2.0) == [(0, 1)]
+
+    def test_nodes_beyond_radius_are_not_connected(self):
+        points = [Point(0.0, 0.0), Point(2.5, 0.0)]
+        assert unit_disk_edges(points, radius=2.0) == []
+
+    def test_boundary_distance_counts_as_conflict(self):
+        # The paper uses a closed disk: distance exactly 2 conflicts.
+        points = [Point(0.0, 0.0), Point(2.0, 0.0)]
+        assert unit_disk_edges(points, radius=2.0) == [(0, 1)]
+
+    def test_default_radius_matches_paper_model(self):
+        assert DEFAULT_CONFLICT_RADIUS == 2.0
+
+    def test_edge_indices_are_ordered(self):
+        points = [Point(0.0, 0.0), Point(0.5, 0.0), Point(1.0, 0.0)]
+        for i, j in unit_disk_edges(points, radius=2.0):
+            assert i < j
+
+    def test_triangle_all_connected(self):
+        points = [Point(0.0, 0.0), Point(1.0, 0.0), Point(0.5, 0.5)]
+        assert len(unit_disk_edges(points, radius=2.0)) == 3
+
+    def test_empty_points(self):
+        assert unit_disk_edges([]) == []
+
+    def test_invalid_radius_rejected(self):
+        with pytest.raises(ValueError):
+            unit_disk_edges([Point(0.0, 0.0)], radius=0.0)
+
+
+class TestBuildUnitDiskGraph:
+    def test_adjacency_is_symmetric(self):
+        points = [Point(0.0, 0.0), Point(1.0, 0.0), Point(5.0, 5.0)]
+        adjacency = build_unit_disk_graph(points, radius=2.0)
+        assert 1 in adjacency[0]
+        assert 0 in adjacency[1]
+        assert adjacency[2] == set()
+
+    def test_line_topology_adjacency(self):
+        points = [Point(float(i), 0.0) for i in range(5)]
+        adjacency = build_unit_disk_graph(points, radius=1.0)
+        assert adjacency[0] == {1}
+        assert adjacency[2] == {1, 3}
+
+    def test_no_self_loops(self):
+        points = [Point(0.0, 0.0), Point(0.0, 0.0)]
+        adjacency = build_unit_disk_graph(points, radius=1.0)
+        assert 0 not in adjacency[0]
+        assert 1 in adjacency[0]

@@ -1,0 +1,99 @@
+"""Tests for repro.mwis.exact."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.mwis.base import is_independent, set_weight
+from repro.mwis.exact import ExactMWISSolver
+
+
+def brute_force_mwis(adjacency, weights):
+    """Reference optimum by trying every subset (tiny instances only)."""
+    n = len(adjacency)
+    best = 0.0
+    for size in range(n + 1):
+        for subset in itertools.combinations(range(n), size):
+            if is_independent(adjacency, subset):
+                best = max(best, set_weight(weights, subset))
+    return best
+
+
+class TestExactSolver:
+    def test_single_vertex(self):
+        solution = ExactMWISSolver().solve([set()], [5.0])
+        assert solution.weight == 5.0
+        assert set(solution.vertices) == {0}
+
+    def test_edge_picks_heavier_endpoint(self):
+        solution = ExactMWISSolver().solve([{1}, {0}], [1.0, 3.0])
+        assert set(solution.vertices) == {1}
+        assert solution.weight == 3.0
+
+    def test_path_alternation(self):
+        adjacency = [{1}, {0, 2}, {1, 3}, {2}]
+        solution = ExactMWISSolver().solve(adjacency, [1.0, 1.0, 1.0, 1.0])
+        assert solution.weight == 2.0
+        assert is_independent(adjacency, solution.vertices)
+
+    def test_weighted_path_prefers_heavy_middle(self):
+        adjacency = [{1}, {0, 2}, {1}]
+        solution = ExactMWISSolver().solve(adjacency, [1.0, 10.0, 1.0])
+        assert set(solution.vertices) == {1}
+
+    def test_triangle(self):
+        adjacency = [{1, 2}, {0, 2}, {0, 1}]
+        solution = ExactMWISSolver().solve(adjacency, [2.0, 3.0, 1.0])
+        assert set(solution.vertices) == {1}
+
+    def test_zero_and_negative_weights_excluded(self):
+        adjacency = [set(), set(), set()]
+        solution = ExactMWISSolver().solve(adjacency, [0.0, -1.0, 2.0])
+        assert set(solution.vertices) == {2}
+        assert solution.weight == 2.0
+
+    def test_disconnected_components_solved_independently(self):
+        adjacency = [{1}, {0}, {3}, {2}]
+        solution = ExactMWISSolver().solve(adjacency, [5.0, 1.0, 2.0, 7.0])
+        assert set(solution.vertices) == {0, 3}
+        assert solution.weight == 12.0
+
+    def test_matches_brute_force_on_random_graphs(self):
+        rng = np.random.default_rng(11)
+        for _ in range(25):
+            n = int(rng.integers(2, 9))
+            adjacency = [set() for _ in range(n)]
+            for i in range(n):
+                for j in range(i + 1, n):
+                    if rng.random() < 0.4:
+                        adjacency[i].add(j)
+                        adjacency[j].add(i)
+            weights = rng.uniform(0.0, 10.0, size=n).tolist()
+            solution = ExactMWISSolver().solve(adjacency, weights)
+            assert is_independent(adjacency, solution.vertices)
+            assert solution.weight == pytest.approx(
+                brute_force_mwis(adjacency, weights)
+            )
+
+    def test_weight_matches_vertex_sum(self):
+        adjacency = [{1}, {0, 2}, {1}]
+        weights = [4.0, 1.0, 5.0]
+        solution = ExactMWISSolver().solve(adjacency, weights)
+        assert solution.weight == pytest.approx(
+            sum(weights[v] for v in solution.vertices)
+        )
+
+    def test_size_limit_enforced(self):
+        solver = ExactMWISSolver(max_vertices=3)
+        adjacency = [set() for _ in range(5)]
+        with pytest.raises(ValueError):
+            solver.solve(adjacency, [1.0] * 5)
+
+    def test_mismatched_weights_rejected(self):
+        with pytest.raises(ValueError):
+            ExactMWISSolver().solve([set(), set()], [1.0])
+
+    def test_invalid_max_vertices(self):
+        with pytest.raises(ValueError):
+            ExactMWISSolver(max_vertices=0)

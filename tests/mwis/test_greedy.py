@@ -1,0 +1,91 @@
+"""Tests for repro.mwis.greedy."""
+
+import numpy as np
+import pytest
+
+from repro.mwis.base import is_independent
+from repro.mwis.exact import ExactMWISSolver
+from repro.mwis.greedy import GreedyMWISSolver, GreedyRatioMWISSolver
+
+
+@pytest.fixture(params=[GreedyMWISSolver, GreedyRatioMWISSolver])
+def greedy_solver(request):
+    return request.param()
+
+
+class TestGreedySolvers:
+    def test_output_is_independent(self, greedy_solver):
+        adjacency = [{1, 2}, {0, 2}, {0, 1, 3}, {2}]
+        solution = greedy_solver.solve(adjacency, [1.0, 2.0, 5.0, 1.0])
+        assert is_independent(adjacency, solution.vertices)
+
+    def test_isolated_vertices_all_selected(self, greedy_solver):
+        adjacency = [set(), set(), set()]
+        solution = greedy_solver.solve(adjacency, [1.0, 2.0, 3.0])
+        assert set(solution.vertices) == {0, 1, 2}
+
+    def test_non_positive_weights_excluded(self, greedy_solver):
+        adjacency = [set(), set()]
+        solution = greedy_solver.solve(adjacency, [0.0, -2.0])
+        assert len(solution.vertices) == 0
+        assert solution.weight == 0.0
+
+    def test_never_exceeds_exact_optimum(self, greedy_solver):
+        rng = np.random.default_rng(3)
+        for _ in range(15):
+            n = int(rng.integers(3, 12))
+            adjacency = [set() for _ in range(n)]
+            for i in range(n):
+                for j in range(i + 1, n):
+                    if rng.random() < 0.3:
+                        adjacency[i].add(j)
+                        adjacency[j].add(i)
+            weights = rng.uniform(0.0, 5.0, size=n).tolist()
+            greedy = greedy_solver.solve(adjacency, weights)
+            exact = ExactMWISSolver().solve(adjacency, weights)
+            assert greedy.weight <= exact.weight + 1e-9
+
+    def test_weight_matches_vertex_sum(self, greedy_solver):
+        adjacency = [{1}, {0}, set()]
+        weights = [2.0, 7.0, 1.5]
+        solution = greedy_solver.solve(adjacency, weights)
+        assert solution.weight == pytest.approx(
+            sum(weights[v] for v in solution.vertices)
+        )
+
+
+class TestGreedySpecifics:
+    def test_max_weight_greedy_picks_heaviest_first(self):
+        # Star: the heavy centre dominates and blocks the leaves.
+        adjacency = [{1, 2, 3}, {0}, {0}, {0}]
+        solution = GreedyMWISSolver().solve(adjacency, [10.0, 1.0, 1.0, 1.0])
+        assert set(solution.vertices) == {0}
+
+    def test_ratio_greedy_can_beat_max_weight_greedy(self):
+        # Centre weight 10 (ratio 10/4 = 2.5), leaves 6 each (ratio 6/2 = 3):
+        # ratio greedy picks the three leaves (total 18) while max-weight
+        # greedy picks the centre and stops at 10.
+        adjacency = [{1, 2, 3}, {0}, {0}, {0}]
+        weights = [10.0, 6.0, 6.0, 6.0]
+        max_weight = GreedyMWISSolver().solve(adjacency, weights)
+        ratio = GreedyRatioMWISSolver().solve(adjacency, weights)
+        assert max_weight.weight == 10.0
+        assert ratio.weight == 18.0
+
+    def test_gwmin_weight_guarantee(self):
+        # GWMIN guarantees weight >= sum_v w_v / (deg(v) + 1).
+        rng = np.random.default_rng(9)
+        for _ in range(10):
+            n = int(rng.integers(4, 14))
+            adjacency = [set() for _ in range(n)]
+            for i in range(n):
+                for j in range(i + 1, n):
+                    if rng.random() < 0.35:
+                        adjacency[i].add(j)
+                        adjacency[j].add(i)
+            weights = rng.uniform(0.1, 5.0, size=n)
+            bound = sum(
+                weights[v] / (len(adjacency[v]) + 1.0) for v in range(n)
+            )
+            solution = GreedyRatioMWISSolver().solve(adjacency, weights.tolist())
+            assert solution.weight >= bound - 1e-9

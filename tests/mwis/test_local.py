@@ -1,0 +1,75 @@
+"""Tests for repro.mwis.local."""
+
+import pytest
+
+from repro.mwis.base import is_independent
+from repro.mwis.exact import ExactMWISSolver
+from repro.mwis.greedy import GreedyMWISSolver
+from repro.mwis.local import induced_subgraph, solve_local_mwis
+
+
+class TestInducedSubgraph:
+    def test_mapping_and_edges(self):
+        adjacency = [{1}, {0, 2}, {1, 3}, {2}]
+        local_adjacency, local_to_global = induced_subgraph(adjacency, [1, 2, 3])
+        assert local_to_global == [1, 2, 3]
+        assert local_adjacency[0] == {1}
+        assert local_adjacency[1] == {0, 2}
+
+    def test_edges_to_outside_are_dropped(self):
+        adjacency = [{1}, {0, 2}, {1}]
+        local_adjacency, local_to_global = induced_subgraph(adjacency, [0, 2])
+        assert local_to_global == [0, 2]
+        assert local_adjacency == [set(), set()]
+
+    def test_out_of_range_vertex_rejected(self):
+        with pytest.raises(ValueError):
+            induced_subgraph([set()], [5])
+
+    def test_duplicates_collapsed(self):
+        adjacency = [{1}, {0}]
+        _, local_to_global = induced_subgraph(adjacency, [0, 0, 1])
+        assert local_to_global == [0, 1]
+
+
+class TestSolveLocalMWIS:
+    def test_restricted_optimum(self):
+        adjacency = [{1}, {0, 2}, {1, 3}, {2}]
+        weights = [10.0, 1.0, 1.0, 10.0]
+        # Restricted to the middle vertices, the best choice is one of them.
+        solution = solve_local_mwis(adjacency, weights, [1, 2])
+        assert solution.weight == 1.0
+        assert set(solution.vertices).issubset({1, 2})
+
+    def test_returns_global_ids(self):
+        adjacency = [{1}, {0, 2}, {1, 3}, {2}]
+        weights = [1.0, 5.0, 1.0, 4.0]
+        solution = solve_local_mwis(adjacency, weights, [1, 2, 3])
+        assert set(solution.vertices) == {1, 3}
+        assert solution.weight == 9.0
+
+    def test_empty_candidate_set(self):
+        solution = solve_local_mwis([set()], [1.0], [])
+        assert len(solution.vertices) == 0
+        assert solution.weight == 0.0
+
+    def test_solution_is_independent_globally(self):
+        adjacency = [{1, 2}, {0, 2}, {0, 1, 3}, {2}]
+        weights = [3.0, 2.0, 5.0, 4.0]
+        solution = solve_local_mwis(adjacency, weights, [0, 1, 2, 3])
+        assert is_independent(adjacency, solution.vertices)
+
+    def test_matches_exact_solver_on_full_set(self):
+        adjacency = [{1}, {0, 2}, {1, 3}, {2, 4}, {3}]
+        weights = [2.0, 9.0, 3.0, 7.0, 2.0]
+        local = solve_local_mwis(adjacency, weights, range(5))
+        exact = ExactMWISSolver().solve(adjacency, weights)
+        assert local.weight == pytest.approx(exact.weight)
+
+    def test_custom_solver_is_used(self):
+        adjacency = [{1, 2, 3}, {0}, {0}, {0}]
+        weights = [10.0, 4.0, 4.0, 4.0]
+        greedy = solve_local_mwis(adjacency, weights, range(4), solver=GreedyMWISSolver())
+        # Max-weight greedy picks the centre (weight 10) instead of the
+        # optimum 12, proving the injected solver was used.
+        assert greedy.weight == 10.0

@@ -1,0 +1,93 @@
+"""Property-based tests (hypothesis) for the MWIS solvers.
+
+The invariants checked here are the ones the learning scheme relies on:
+
+* every solver always returns an independent set;
+* the reported weight equals the sum of the selected vertex weights;
+* the exact solver dominates every approximate solver;
+* the robust PTAS respects its 1/(1+epsilon) guarantee;
+* solutions are invariant under uniform weight scaling.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mwis.base import is_independent, set_weight
+from repro.mwis.exact import ExactMWISSolver
+from repro.mwis.greedy import GreedyMWISSolver, GreedyRatioMWISSolver
+from repro.mwis.robust_ptas import RobustPTASSolver
+
+
+@st.composite
+def random_graph_and_weights(draw, max_nodes: int = 12):
+    """Random undirected graph (adjacency sets) with positive weights."""
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    adjacency: List[Set[int]] = [set() for _ in range(n)]
+    for i in range(n):
+        for j in range(i + 1, n):
+            if draw(st.booleans()):
+                adjacency[i].add(j)
+                adjacency[j].add(i)
+    weights = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return adjacency, weights
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=random_graph_and_weights())
+def test_exact_solver_output_is_independent_and_consistent(data):
+    adjacency, weights = data
+    solution = ExactMWISSolver().solve(adjacency, weights)
+    assert is_independent(adjacency, solution.vertices)
+    assert solution.weight == pytest.approx(set_weight(weights, solution.vertices))
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=random_graph_and_weights())
+def test_greedy_solvers_never_beat_exact(data):
+    adjacency, weights = data
+    exact = ExactMWISSolver().solve(adjacency, weights)
+    for solver in (GreedyMWISSolver(), GreedyRatioMWISSolver()):
+        approx = solver.solve(adjacency, weights)
+        assert is_independent(adjacency, approx.vertices)
+        assert approx.weight <= exact.weight + 1e-6
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=random_graph_and_weights(max_nodes=10), epsilon=st.sampled_from([0.25, 0.5, 1.0]))
+def test_robust_ptas_respects_guarantee(data, epsilon):
+    adjacency, weights = data
+    exact = ExactMWISSolver().solve(adjacency, weights)
+    ptas = RobustPTASSolver(epsilon=epsilon).solve(adjacency, weights)
+    assert is_independent(adjacency, ptas.vertices)
+    assert ptas.weight >= exact.weight / (1.0 + epsilon) - 1e-6
+    assert ptas.weight <= exact.weight + 1e-6
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=random_graph_and_weights(max_nodes=10), scale=st.floats(min_value=0.1, max_value=50.0))
+def test_exact_optimum_scales_linearly_with_weights(data, scale):
+    adjacency, weights = data
+    base = ExactMWISSolver().solve(adjacency, weights)
+    scaled = ExactMWISSolver().solve(adjacency, [w * scale for w in weights])
+    assert scaled.weight == pytest.approx(base.weight * scale, rel=1e-6, abs=1e-6)
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=random_graph_and_weights(max_nodes=10))
+def test_adding_isolated_vertex_increases_optimum_by_its_weight(data):
+    adjacency, weights = data
+    base = ExactMWISSolver().solve(adjacency, weights)
+    extended_adjacency = [set(neigh) for neigh in adjacency] + [set()]
+    extended_weights = list(weights) + [7.5]
+    extended = ExactMWISSolver().solve(extended_adjacency, extended_weights)
+    assert extended.weight == pytest.approx(base.weight + 7.5)

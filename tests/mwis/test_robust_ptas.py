@@ -1,0 +1,105 @@
+"""Tests for repro.mwis.robust_ptas."""
+
+import numpy as np
+import pytest
+
+from repro.channels.catalog import assign_rates_to_network
+from repro.graph.extended import ExtendedConflictGraph
+from repro.graph.topology import linear_network, random_network
+from repro.mwis.base import is_independent
+from repro.mwis.exact import ExactMWISSolver
+from repro.mwis.robust_ptas import RobustPTASSolver, restricted_r_hop_neighborhood
+
+
+class TestRestrictedNeighborhood:
+    def test_full_allowed_set_matches_plain_bfs(self):
+        adjacency = [{1}, {0, 2}, {1, 3}, {2}]
+        allowed = {0, 1, 2, 3}
+        assert restricted_r_hop_neighborhood(adjacency, 0, 2, allowed) == {0, 1, 2}
+
+    def test_paths_must_stay_inside_allowed(self):
+        adjacency = [{1}, {0, 2}, {1, 3}, {2}]
+        # Vertex 1 removed: 2 is unreachable from 0 within the allowed set.
+        allowed = {0, 2, 3}
+        assert restricted_r_hop_neighborhood(adjacency, 0, 3, allowed) == {0}
+
+    def test_vertex_not_allowed_raises(self):
+        with pytest.raises(ValueError):
+            restricted_r_hop_neighborhood([{1}, {0}], 0, 1, {1})
+
+    def test_negative_radius_raises(self):
+        with pytest.raises(ValueError):
+            restricted_r_hop_neighborhood([set()], 0, -1, {0})
+
+
+class TestRobustPTAS:
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            RobustPTASSolver(epsilon=0.0)
+
+    def test_rho_property(self):
+        solver = RobustPTASSolver(epsilon=0.25)
+        assert solver.rho == pytest.approx(1.25)
+        assert solver.epsilon == pytest.approx(0.25)
+
+    def test_output_is_independent(self):
+        rng = np.random.default_rng(2)
+        graph = random_network(25, 3, average_degree=5.0, rng=rng)
+        extended = ExtendedConflictGraph(graph)
+        weights = rng.uniform(0.1, 1.0, size=extended.num_vertices).tolist()
+        solution = RobustPTASSolver(epsilon=0.5).solve(
+            extended.adjacency_sets(), weights
+        )
+        assert is_independent(extended.adjacency_sets(), solution.vertices)
+
+    @pytest.mark.parametrize("epsilon", [0.2, 0.5, 1.0])
+    def test_approximation_guarantee_on_small_instances(self, epsilon):
+        rng = np.random.default_rng(7)
+        for _ in range(6):
+            graph = random_network(8, 2, average_degree=3.0, rng=rng)
+            extended = ExtendedConflictGraph(graph)
+            weights = rng.uniform(0.1, 1.0, size=extended.num_vertices).tolist()
+            adjacency = extended.adjacency_sets()
+            ptas = RobustPTASSolver(epsilon=epsilon).solve(adjacency, weights)
+            exact = ExactMWISSolver().solve(adjacency, weights)
+            assert ptas.weight >= exact.weight / (1.0 + epsilon) - 1e-9
+            assert ptas.weight <= exact.weight + 1e-9
+
+    def test_smaller_epsilon_is_at_least_as_good(self):
+        rng = np.random.default_rng(5)
+        graph = random_network(20, 2, average_degree=4.0, rng=rng)
+        extended = ExtendedConflictGraph(graph)
+        weights = rng.uniform(0.1, 1.0, size=extended.num_vertices).tolist()
+        adjacency = extended.adjacency_sets()
+        tight = RobustPTASSolver(epsilon=0.1).solve(adjacency, weights)
+        loose = RobustPTASSolver(epsilon=2.0).solve(adjacency, weights)
+        exact = ExactMWISSolver().solve(adjacency, weights)
+        assert tight.weight >= exact.weight / 1.1 - 1e-9
+        assert loose.weight <= exact.weight + 1e-9
+
+    def test_exact_on_line_graph(self):
+        # On a simple path with uniform weights the PTAS should reach the
+        # optimum (alternating vertices) for small epsilon.
+        graph = linear_network(9, 1, spacing=1.0, radius=1.0)
+        weights = [1.0] * 9
+        adjacency = graph.adjacency_sets()
+        ptas = RobustPTASSolver(epsilon=0.1).solve(adjacency, weights)
+        exact = ExactMWISSolver().solve(adjacency, weights)
+        assert ptas.weight == pytest.approx(exact.weight)
+
+    def test_max_radius_cap_still_independent(self):
+        rng = np.random.default_rng(13)
+        graph = random_network(20, 3, average_degree=6.0, rng=rng)
+        extended = ExtendedConflictGraph(graph)
+        weights = (
+            assign_rates_to_network(20, 3, rng=rng).reshape(-1).tolist()
+        )
+        solver = RobustPTASSolver(epsilon=0.5, max_radius=1)
+        solution = solver.solve(extended.adjacency_sets(), weights)
+        assert is_independent(extended.adjacency_sets(), solution.vertices)
+        assert solution.weight > 0
+
+    def test_zero_weights_give_empty_solution(self):
+        adjacency = [{1}, {0}]
+        solution = RobustPTASSolver(epsilon=0.5).solve(adjacency, [0.0, 0.0])
+        assert len(solution.vertices) == 0

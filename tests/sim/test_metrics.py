@@ -1,0 +1,53 @@
+"""Tests for repro.sim.metrics."""
+
+import numpy as np
+import pytest
+
+from repro.sim.metrics import running_average, summarize_trace, tail_mean
+
+
+class TestRunningAverage:
+    def test_prefix_means(self):
+        assert np.allclose(running_average([2.0, 4.0, 6.0]), [2.0, 3.0, 4.0])
+
+    def test_single_value(self):
+        assert np.allclose(running_average([5.0]), [5.0])
+
+    def test_empty(self):
+        assert running_average([]).size == 0
+
+    def test_constant_sequence(self):
+        assert np.allclose(running_average([3.0] * 10), 3.0)
+
+
+class TestTailMean:
+    def test_takes_last_fraction(self):
+        values = list(range(100))
+        assert tail_mean(values, fraction=0.1) == pytest.approx(np.mean(values[-10:]))
+
+    def test_fraction_one_is_full_mean(self):
+        values = [1.0, 2.0, 3.0]
+        assert tail_mean(values, fraction=1.0) == pytest.approx(2.0)
+
+    def test_small_sequences_use_at_least_one_value(self):
+        assert tail_mean([7.0], fraction=0.1) == 7.0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            tail_mean([1.0], fraction=0.0)
+        with pytest.raises(ValueError):
+            tail_mean([], fraction=0.5)
+
+
+class TestSummarizeTrace:
+    def test_keys_and_values(self):
+        summary = summarize_trace([1.0, 5.0, 3.0])
+        assert summary["first"] == 1.0
+        assert summary["last"] == 3.0
+        assert summary["min"] == 1.0
+        assert summary["max"] == 5.0
+        assert summary["mean"] == pytest.approx(3.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize_trace([])

@@ -1,0 +1,51 @@
+"""Tests for repro.sim.results."""
+
+import numpy as np
+import pytest
+
+from repro.core.regret import RegretTracker
+from repro.core.strategy import Strategy
+from repro.sim.results import RoundRecord, SimulationResult
+
+
+def make_record(index, reward, estimated=None):
+    return RoundRecord(
+        round_index=index,
+        strategy=Strategy.from_assignment({0: index % 2}),
+        expected_reward=reward,
+        observed_reward=reward + 0.5,
+        estimated_weight=estimated,
+    )
+
+
+class TestSimulationResult:
+    def test_reward_arrays(self):
+        result = SimulationResult(policy_name="p")
+        result.rounds = [make_record(1, 2.0), make_record(2, 4.0)]
+        assert np.allclose(result.expected_rewards(), [2.0, 4.0])
+        assert np.allclose(result.observed_rewards(), [2.5, 4.5])
+        assert result.num_rounds == 2
+
+    def test_estimated_weights_with_missing_values(self):
+        result = SimulationResult(policy_name="p")
+        result.rounds = [make_record(1, 2.0, estimated=3.0), make_record(2, 4.0)]
+        estimates = result.estimated_weights()
+        assert estimates[0] == 3.0
+        assert np.isnan(estimates[1])
+
+    def test_strategy_play_counts(self):
+        result = SimulationResult(policy_name="p")
+        result.rounds = [make_record(1, 1.0), make_record(2, 1.0), make_record(3, 1.0)]
+        counts = result.strategy_play_counts()
+        # Rounds 1 and 3 play {0: 1}, round 2 plays {0: 0}.
+        assert counts[Strategy.from_assignment({0: 1})] == 2
+        assert counts[Strategy.from_assignment({0: 0})] == 1
+
+    def test_average_expected_throughput_empty(self):
+        assert SimulationResult(policy_name="p").average_expected_throughput() == 0.0
+
+    def test_tracker_is_embedded(self):
+        tracker = RegretTracker(optimal_value=5.0)
+        result = SimulationResult(policy_name="p", tracker=tracker)
+        result.tracker.record(4.0, 4.0)
+        assert result.tracker.num_rounds == 1

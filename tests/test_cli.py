@@ -1,0 +1,59 @@
+"""Tests for the ``python -m repro`` experiment CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_fig7_options(self):
+        args = build_parser().parse_args(["fig7", "--paper", "--rounds", "50"])
+        assert args.command == "fig7"
+        assert args.paper is True
+        assert args.rounds == 50
+
+    def test_fig8_periods_option(self):
+        args = build_parser().parse_args(["fig8", "--periods", "1,5"])
+        assert args.periods == "1,5"
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["not-a-command"])
+
+
+class TestMain:
+    def test_table2_command(self, capsys):
+        assert main(["table2"]) == 0
+        output = capsys.readouterr().out
+        assert "theta" in output
+        assert "round_ta_ms" in output
+
+    def test_fig6_quick_command(self, capsys):
+        assert main(["fig6"]) == 0
+        output = capsys.readouterr().out
+        assert "mini-round" in output
+        assert "Convergence points" in output
+
+    def test_fig7_quick_command_with_overrides(self, capsys):
+        assert main(["fig7", "--rounds", "30", "--seed", "9"]) == 0
+        output = capsys.readouterr().out
+        assert "Algorithm2" in output and "LLR" in output
+
+    def test_fig8_quick_command_with_periods(self, capsys):
+        assert main(["fig8", "--periods", "1,2", "--updates", "10"]) == 0
+        output = capsys.readouterr().out
+        assert "period y" in output
+
+    def test_fig8_invalid_periods(self):
+        with pytest.raises(SystemExit):
+            main(["fig8", "--periods", ","])
+
+    def test_complexity_command(self, capsys):
+        assert main(["complexity", "--seed", "4"]) == 0
+        output = capsys.readouterr().out
+        assert "max msgs/vertex" in output
