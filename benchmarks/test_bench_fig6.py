@@ -8,8 +8,6 @@ round, including the Fig. 5 linear worst case.
 from __future__ import annotations
 
 import numpy as np
-import pytest
-
 from repro.channels.catalog import assign_rates_to_network
 from repro.distributed.ptas import DistributedRobustPTAS
 from repro.experiments.config import Fig6Config

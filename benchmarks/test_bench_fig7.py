@@ -7,8 +7,6 @@ Algorithm 2 competitive with LLR).
 
 from __future__ import annotations
 
-import pytest
-
 from repro.experiments.config import Fig7Config
 from repro.experiments.fig7_regret import format_fig7, run_fig7
 

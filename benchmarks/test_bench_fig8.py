@@ -7,8 +7,6 @@ size and checks the paper's qualitative observations.
 
 from __future__ import annotations
 
-import pytest
-
 from repro.experiments.config import Fig8Config
 from repro.experiments.fig8_periodic import format_fig8, run_fig8
 

@@ -8,7 +8,6 @@ cost of each policy on the same network.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core.policies import (

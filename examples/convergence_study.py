@@ -29,7 +29,7 @@ def linear_worst_case(num_nodes: int = 20) -> None:
     result = protocol.run(weights)
     print(
         f"Linear worst case ({num_nodes} nodes): {result.num_mini_rounds} mini-rounds "
-        f"to mark every vertex (random networks above needed only a handful)."
+        "to mark every vertex (random networks above needed only a handful)."
     )
 
 

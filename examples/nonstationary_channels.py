@@ -19,8 +19,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.channels.dynamics import GilbertElliottChannel
-from repro.channels.state import ChannelState
 from repro.core.nonstationary import DynamicOraclePolicy, SlidingWindowUCBPolicy
 from repro.core.policies import CombinatorialUCBPolicy
 from repro.experiments.reporting import render_table

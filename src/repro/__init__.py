@@ -67,7 +67,14 @@ from repro.mwis import (
     RobustPTASSolver,
     IndependentSet,
 )
-from repro.sim import PeriodicSimulator, Simulator, TimingConfig
+from repro.sim import (
+    BatchResult,
+    BatchSimulator,
+    PeriodicSimulator,
+    Simulator,
+    TimingConfig,
+    replication_rngs,
+)
 
 __version__ = "1.0.0"
 
@@ -104,6 +111,9 @@ __all__ = [
     "GreedyRatioMWISSolver",
     "RobustPTASSolver",
     "IndependentSet",
+    "BatchResult",
+    "BatchSimulator",
+    "replication_rngs",
     "PeriodicSimulator",
     "Simulator",
     "TimingConfig",

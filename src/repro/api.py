@@ -9,7 +9,7 @@ every component swappable.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -25,6 +25,7 @@ from repro.graph.conflict_graph import ConflictGraph
 from repro.graph.extended import ExtendedConflictGraph
 from repro.mwis.base import MWISSolver
 from repro.mwis.exact import ExactMWISSolver
+from repro.sim.batch import BatchResult, BatchSimulator
 from repro.sim.engine import Simulator
 from repro.sim.periodic import PeriodicResult, PeriodicSimulator
 from repro.sim.results import SimulationResult
@@ -45,7 +46,8 @@ class ChannelAccessSystem:
     timing:
         Round timing (defaults to the paper's Table II values).
     seed:
-        Seed of the random generator used for channel draws.
+        Seed of the random generator used for channel draws — anything
+        ``numpy.random.default_rng`` accepts (int, ``SeedSequence``, ...).
     """
 
     def __init__(
@@ -66,6 +68,7 @@ class ChannelAccessSystem:
         self.extended_graph = ExtendedConflictGraph(conflict_graph)
         self.channels = channels
         self.timing = timing if timing is not None else TimingConfig.paper_defaults()
+        self._seed = seed
         self._rng = np.random.default_rng(seed)
 
     # ------------------------------------------------------------------
@@ -144,6 +147,33 @@ class ChannelAccessSystem:
             rng=self._rng,
         )
         return simulator.run(policy, num_rounds)
+
+    def simulate_batch(
+        self,
+        policy_factory: Callable[[int], Policy],
+        num_rounds: int,
+        replications: int = 1,
+        jobs: int = 1,
+        optimal_value: Optional[float] = None,
+    ) -> BatchResult:
+        """Run ``replications`` independent simulations of one policy.
+
+        ``policy_factory`` receives the replication index and must return a
+        fresh policy instance; each replication gets its own random stream
+        spawned from this system's seed, so the batch is reproducible and
+        replication 0 matches a sequential :meth:`simulate`-style run driven
+        by ``repro.sim.replication_rngs(seed, 1)[0]``.
+        """
+        simulator = BatchSimulator(
+            self.extended_graph,
+            self.channels,
+            timing=self.timing,
+            optimal_value=optimal_value,
+            seed=self._seed,
+        )
+        return simulator.run(
+            policy_factory, num_rounds, replications=replications, jobs=jobs
+        )
 
     def simulate_periodic(
         self, policy: Policy, num_periods: int, period_slots: int

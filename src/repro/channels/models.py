@@ -10,7 +10,7 @@ the throughput experiments and values in ``[0, 1]`` for the analysis); the
 from __future__ import annotations
 
 import abc
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -32,6 +32,12 @@ class ChannelModel(abc.ABC):
     from a single seed.
     """
 
+    #: Whether :meth:`sample` mutates internal model state.  Stateful models
+    #: (e.g. the Gilbert-Elliott extension) cannot be shared between
+    #: independent replications; :class:`~repro.sim.batch.BatchSimulator`
+    #: refuses them for ``replications > 1``.
+    stateful: bool = False
+
     @property
     @abc.abstractmethod
     def mean(self) -> float:
@@ -40,6 +46,18 @@ class ChannelModel(abc.ABC):
     @abc.abstractmethod
     def sample(self, rng: np.random.Generator, size: Optional[int] = None):
         """Draw one observation (or ``size`` observations) of the process."""
+
+    def gaussian_params(self) -> Optional[Tuple[float, float]]:
+        """``(mean, std)`` when the model is a zero-clipped Gaussian.
+
+        :class:`~repro.channels.state.ChannelState` uses this to build its
+        flat-arm fast path: when every model of a network reports parameters,
+        a whole strategy can be sampled with one vectorized ``rng.normal``
+        call that consumes the generator stream exactly like per-model scalar
+        draws would.  Models with a different law return ``None`` (the
+        default) and fall back to per-arm sampling.
+        """
+        return None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging convenience
         return f"{type(self).__name__}(mean={self.mean:.4g})"
@@ -73,6 +91,9 @@ class GaussianChannel(ChannelModel):
     def sample(self, rng: np.random.Generator, size: Optional[int] = None):
         draws = rng.normal(self._mean, self._std, size=size)
         return np.clip(draws, 0.0, None) if size is not None else max(float(draws), 0.0)
+
+    def gaussian_params(self) -> Tuple[float, float]:
+        return (self._mean, self._std)
 
 
 class TruncatedGaussianChannel(ChannelModel):

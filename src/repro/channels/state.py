@@ -44,6 +44,20 @@ class ChannelState:
         self._means = np.array(
             [[model.mean for model in row] for row in self._models], dtype=float
         )
+        # Flat arm-indexed state (k = node * M + channel).  When every model
+        # is a zero-clipped Gaussian the per-arm std vector enables the
+        # vectorized sampling fast path of :meth:`sample_arm_array`.
+        self._flat_means = self._means.reshape(-1)
+        self._flat_models: List[ChannelModel] = [
+            model for row in self._models for model in row
+        ]
+        params = [model.gaussian_params() for model in self._flat_models]
+        if all(p is not None for p in params):
+            self._flat_stds: Optional[np.ndarray] = np.array(
+                [p[1] for p in params], dtype=float
+            )
+        else:
+            self._flat_stds = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -100,6 +114,15 @@ class ChannelState:
         """Number of arms ``K = N * M``."""
         return self._num_nodes * self._num_channels
 
+    @property
+    def has_stateful_models(self) -> bool:
+        """``True`` when any model mutates internal state on sampling.
+
+        Stateful models (Gilbert-Elliott, adversarial sequences) cannot be
+        shared between independent replications.
+        """
+        return any(model.stateful for model in self._flat_models)
+
     def mean(self, node: int, channel: int) -> float:
         """True mean quality ``mu_{node, channel}``."""
         self._check(node, channel)
@@ -145,6 +168,33 @@ class ChannelState:
         self._check(node, channel)
         return float(self._models[node][channel].sample(rng))
 
+    def sample_arm_array(
+        self, arms: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Draw one observation per flat arm index, as an array.
+
+        This is the vectorized fast path used by the simulators: when every
+        model is a zero-clipped Gaussian the whole strategy is sampled with a
+        single ``rng.normal`` call.  The fast path consumes the generator
+        stream exactly like per-arm scalar draws in the same order, so dict
+        and array sampling agree bit for bit from the same generator state.
+        """
+        arms = np.asarray(arms, dtype=np.int64)
+        if arms.ndim != 1:
+            raise ValueError(f"arms must be a 1-D array, got shape {arms.shape}")
+        if arms.size == 0:
+            return np.empty(0, dtype=float)
+        if arms.min() < 0 or arms.max() >= self.num_arms:
+            raise ValueError(
+                f"arm indices must lie in [0, {self.num_arms}), got {arms}"
+            )
+        if self._flat_stds is not None:
+            draws = rng.normal(self._flat_means[arms], self._flat_stds[arms])
+            return np.clip(draws, 0.0, None)
+        return np.array(
+            [self._flat_models[arm].sample(rng) for arm in arms], dtype=float
+        )
+
     def sample_assignment(
         self, assignment: Mapping[int, int], rng: np.random.Generator
     ) -> Dict[int, float]:
@@ -153,20 +203,29 @@ class ChannelState:
         Returns a ``{node: observed_rate}`` map; only nodes present in the
         assignment transmit and observe anything.
         """
-        return {
-            node: self.sample(node, channel, rng)
-            for node, channel in assignment.items()
-        }
+        nodes = list(assignment)
+        arms = np.array(
+            [self.arm_index(node, assignment[node]) for node in nodes],
+            dtype=np.int64,
+        )
+        values = self.sample_arm_array(arms, rng)
+        return {node: float(value) for node, value in zip(nodes, values)}
 
     def sample_arms(
         self, arms: Iterable[int], rng: np.random.Generator
     ) -> Dict[int, float]:
-        """Draw observations for a set of flat arm indices."""
-        observations: Dict[int, float] = {}
-        for arm in arms:
-            node, channel = self.arm_to_pair(arm)
-            observations[arm] = self.sample(node, channel, rng)
-        return observations
+        """Draw observations for a set of flat arm indices (dict API)."""
+        arm_list = [int(arm) for arm in arms]
+        for arm in arm_list:
+            if not (0 <= arm < self.num_arms):
+                raise ValueError(f"arm {arm} out of range [0, {self.num_arms})")
+        values = self.sample_arm_array(np.array(arm_list, dtype=np.int64), rng)
+        return {arm: float(value) for arm, value in zip(arm_list, values)}
+
+    def expected_reward_arms(self, arms: np.ndarray) -> float:
+        """Expected throughput of a set of arms (vectorized gather)."""
+        arms = np.asarray(arms, dtype=np.int64)
+        return float(self._flat_means[arms].sum())
 
     def expected_reward(self, assignment: Mapping[int, int]) -> float:
         """Expected per-round throughput of a strategy (sum of true means)."""

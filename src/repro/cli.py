@@ -3,21 +3,24 @@
 Usage (after installing the package)::
 
     python -m repro fig6 [--paper]
-    python -m repro fig7 [--paper] [--rounds N]
-    python -m repro fig8 [--paper] [--periods 1,5,10,20] [--updates N]
+    python -m repro fig7 [--paper] [--rounds N] [--replications R] [--jobs J]
+    python -m repro fig8 [--paper] [--periods 1,5,10,20] [--updates N] \
+                         [--replications R] [--jobs J]
     python -m repro table2
     python -m repro complexity
 
 Every sub-command prints the same text tables/series as the corresponding
 ``examples/`` script; ``--paper`` switches from the fast scaled-down
-configuration to the exact Section V parameters.
+configuration to the exact Section V parameters.  ``--replications``
+averages the fig7/fig8 curves over seed-streamed independent replications
+(run on ``--jobs`` worker threads), as in the paper's averaged plots.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.experiments import (
     ComplexityConfig,
@@ -55,6 +58,7 @@ def build_parser() -> argparse.ArgumentParser:
     fig7.add_argument("--paper", action="store_true", help="use the paper-scale network")
     fig7.add_argument("--rounds", type=int, default=None, help="number of time slots")
     fig7.add_argument("--seed", type=int, default=None, help="override the random seed")
+    _add_replication_arguments(fig7)
 
     fig8 = subparsers.add_parser("fig8", help="Fig. 8: periodic-update throughput")
     fig8.add_argument("--paper", action="store_true", help="use the paper-scale network")
@@ -63,6 +67,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fig8.add_argument("--updates", type=int, default=None, help="updates per period length")
     fig8.add_argument("--seed", type=int, default=None, help="override the random seed")
+    _add_replication_arguments(fig8)
 
     subparsers.add_parser("table2", help="Table II: round timing parameters")
 
@@ -71,6 +76,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     complexity.add_argument("--seed", type=int, default=None, help="override the random seed")
     return parser
+
+
+def _add_replication_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the batch-simulation flags shared by fig7 and fig8."""
+    parser.add_argument(
+        "--replications",
+        type=int,
+        default=None,
+        help="average the curves over this many seed-streamed replications",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker threads used to run replications concurrently",
+    )
 
 
 def _replace(config, **overrides):
@@ -88,7 +109,13 @@ def _run_fig6(args) -> str:
 
 def _run_fig7(args) -> str:
     config = Fig7Config.paper() if args.paper else Fig7Config.quick()
-    config = _replace(config, seed=args.seed, num_rounds=args.rounds)
+    config = _replace(
+        config,
+        seed=args.seed,
+        num_rounds=args.rounds,
+        replications=args.replications,
+        jobs=args.jobs,
+    )
     return format_fig7(run_fig7(config))
 
 
@@ -100,7 +127,12 @@ def _run_fig8(args) -> str:
         if not periods:
             raise SystemExit("--periods must list at least one integer")
     config = _replace(
-        config, seed=args.seed, num_periods=args.updates, periods=periods
+        config,
+        seed=args.seed,
+        num_periods=args.updates,
+        periods=periods,
+        replications=args.replications,
+        jobs=args.jobs,
     )
     return format_fig8(run_fig8(config))
 

@@ -86,11 +86,43 @@ class WeightEstimator:
         ``observations`` maps arm index to the observed value; arms not in the
         mapping keep their statistics unchanged, exactly as in eqs. (5)-(6).
         """
-        for arm, value in observations.items():
-            self._check_arm(arm)
-            count = self._counts[arm]
-            self._means[arm] = (self._means[arm] * count + float(value)) / (count + 1)
-            self._counts[arm] = count + 1
+        if not observations:
+            return
+        arms = np.fromiter(observations.keys(), dtype=np.int64, count=len(observations))
+        values = np.fromiter(
+            observations.values(), dtype=float, count=len(observations)
+        )
+        self.update_arms(arms, values)
+
+    def update_arms(self, arms: np.ndarray, values: np.ndarray) -> None:
+        """Vectorized variant of :meth:`update` on parallel arrays.
+
+        ``arms`` must not contain duplicates (a strategy plays every arm at
+        most once per round); the arithmetic mirrors the scalar update of
+        eqs. (5)-(6) exactly, so both entry points produce bit-identical
+        statistics.
+        """
+        arms = np.asarray(arms, dtype=np.int64)
+        values = np.asarray(values, dtype=float)
+        if arms.shape != values.shape or arms.ndim != 1:
+            raise ValueError(
+                "arms and values must be matching 1-D arrays, got shapes "
+                f"{arms.shape} and {values.shape}"
+            )
+        if arms.size == 0:
+            return
+        if arms.min() < 0 or arms.max() >= self._num_arms:
+            raise ValueError(
+                f"arm indices must lie in [0, {self._num_arms}), got {arms}"
+            )
+        if np.unique(arms).size != arms.size:
+            raise ValueError(
+                "arms must not contain duplicates (fancy-index assignment "
+                f"would drop all but the last observation), got {arms}"
+            )
+        counts = self._counts[arms]
+        self._means[arms] = (self._means[arms] * counts + values) / (counts + 1)
+        self._counts[arms] = counts + 1
 
     def reset(self) -> None:
         """Forget every observation."""

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import abc
 import math
-from typing import Dict, List, Mapping, Optional, Sequence, Set
+from typing import List, Mapping, Optional, Sequence, Set
 
 import numpy as np
 
@@ -77,6 +77,27 @@ class Policy(abc.ABC):
         ``observations`` maps flat arm indices (vertices of ``H``) to the
         observed data rate of that (node, channel) pair this round.
         """
+
+    def observe_arms(
+        self,
+        round_index: int,
+        strategy: Strategy,
+        arms: np.ndarray,
+        values: np.ndarray,
+    ) -> None:
+        """Arm-array fast path of :meth:`observe`.
+
+        The simulators feed observations as parallel ``(arms, values)``
+        arrays; the default implementation adapts them to the dict API so
+        third-party policies only need to implement :meth:`observe`.  The
+        built-in estimator policies override this to update their dense
+        statistics without building a dictionary.
+        """
+        self.observe(
+            round_index,
+            strategy,
+            {int(arm): float(value) for arm, value in zip(arms, values)},
+        )
 
     def reset(self) -> None:
         """Forget all learned state (default: nothing to forget)."""
@@ -179,6 +200,15 @@ class CombinatorialUCBPolicy(Policy):
     ) -> None:
         self._estimator.update(observations)
 
+    def observe_arms(
+        self,
+        round_index: int,
+        strategy: Strategy,
+        arms: np.ndarray,
+        values: np.ndarray,
+    ) -> None:
+        self._estimator.update_arms(arms, values)
+
     def reset(self) -> None:
         self._estimator.reset()
         reset = getattr(self._solver, "reset", None)
@@ -247,6 +277,15 @@ class LLRPolicy(Policy):
     ) -> None:
         self._estimator.update(observations)
 
+    def observe_arms(
+        self,
+        round_index: int,
+        strategy: Strategy,
+        arms: np.ndarray,
+        values: np.ndarray,
+    ) -> None:
+        self._estimator.update_arms(arms, values)
+
     def reset(self) -> None:
         self._estimator.reset()
         reset = getattr(self._solver, "reset", None)
@@ -311,6 +350,18 @@ class NaiveStrategyUCBPolicy(Policy):
         self._sums[self._last_played] += reward
         self._counts[self._last_played] += 1
 
+    def observe_arms(
+        self,
+        round_index: int,
+        strategy: Strategy,
+        arms: np.ndarray,
+        values: np.ndarray,
+    ) -> None:
+        if self._last_played is None:
+            raise RuntimeError("observe() called before select_strategy()")
+        self._sums[self._last_played] += float(np.sum(values))
+        self._counts[self._last_played] += 1
+
     def reset(self) -> None:
         self._sums.fill(0.0)
         self._counts.fill(0)
@@ -370,6 +421,15 @@ class OraclePolicy(Policy):
         # The genie has nothing to learn.
         return None
 
+    def observe_arms(
+        self,
+        round_index: int,
+        strategy: Strategy,
+        arms: np.ndarray,
+        values: np.ndarray,
+    ) -> None:
+        return None
+
 
 class RandomPolicy(Policy):
     """Plays a uniformly random *maximal* independent set every round."""
@@ -400,6 +460,15 @@ class RandomPolicy(Policy):
         round_index: int,
         strategy: Strategy,
         observations: Mapping[int, float],
+    ) -> None:
+        return None
+
+    def observe_arms(
+        self,
+        round_index: int,
+        strategy: Strategy,
+        arms: np.ndarray,
+        values: np.ndarray,
     ) -> None:
         return None
 
@@ -451,6 +520,15 @@ class EpsilonGreedyPolicy(Policy):
         observations: Mapping[int, float],
     ) -> None:
         self._estimator.update(observations)
+
+    def observe_arms(
+        self,
+        round_index: int,
+        strategy: Strategy,
+        arms: np.ndarray,
+        values: np.ndarray,
+    ) -> None:
+        self._estimator.update_arms(arms, values)
 
     def reset(self) -> None:
         self._estimator.reset()

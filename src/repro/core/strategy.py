@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
 
+import numpy as np
+
 from repro.graph.extended import ExtendedConflictGraph
 from repro.mwis.base import IndependentSet
 
@@ -70,6 +72,18 @@ class Strategy:
         return frozenset(
             graph.vertex_index(node, channel) for node, channel in self.assignment
         )
+
+    def arm_array(self, graph: ExtendedConflictGraph) -> np.ndarray:
+        """Flat arm indices as a sorted ``int64`` array (vectorized fast path).
+
+        The assignment tuple is sorted by node and holds one channel per
+        node, so the produced arms (``node * M + channel``) are already in
+        ascending order — the same order the dict APIs iterate in.
+        """
+        if not self.assignment:
+            return np.empty(0, dtype=np.int64)
+        pairs = np.asarray(self.assignment, dtype=np.int64)
+        return pairs[:, 0] * graph.num_channels + pairs[:, 1]
 
     def to_independent_set(self, graph: ExtendedConflictGraph) -> IndependentSet:
         """The strategy as an :class:`IndependentSet` of ``H`` with zero weight

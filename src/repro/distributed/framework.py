@@ -10,7 +10,7 @@ the experiment harness uses to report communication/computation complexity.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence, Set
+from typing import Optional, Sequence, Set
 
 from repro.distributed.ptas import DistributedRobustPTAS, ProtocolResult
 from repro.graph.extended import ExtendedConflictGraph

@@ -19,7 +19,7 @@ it to the right recipients and account mini-timeslots.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping
+from typing import Mapping
 
 __all__ = ["Message", "WeightBroadcast", "LeaderDeclaration", "StatusDetermination"]
 

@@ -15,7 +15,7 @@ complexity analysis talks about:
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Dict, List, Optional, Sequence, Set
 
 from repro.distributed.messages import Message
 from repro.graph.neighborhoods import r_hop_neighborhood

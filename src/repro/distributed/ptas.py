@@ -108,7 +108,7 @@ class DistributedRobustPTAS:
     ) -> None:
         if r < 1:
             raise ValueError(
-                f"r must be at least 1 for the protocol's knowledge horizons to "
+                "r must be at least 1 for the protocol's knowledge horizons to "
                 f"be consistent, got {r}"
             )
         if max_mini_rounds is not None and max_mini_rounds <= 0:

@@ -8,8 +8,8 @@ result is preserved; EXPERIMENTS.md records both).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Tuple
+from dataclasses import dataclass
+from typing import Tuple
 
 __all__ = ["Fig6Config", "Fig7Config", "Fig8Config", "ComplexityConfig"]
 
@@ -64,6 +64,12 @@ class Fig7Config:
     alpha: float = 4.0
     average_degree: float = 4.0
     seed: int = 2014
+    #: Number of independent replications the regret curves are averaged
+    #: over (seed-streamed via ``SeedSequence.spawn``, as in the paper's
+    #: averaged plots).
+    replications: int = 1
+    #: Worker threads used to run replications concurrently.
+    jobs: int = 1
 
     @classmethod
     def paper(cls) -> "Fig7Config":
@@ -89,6 +95,11 @@ class Fig8Config:
     r: int = 2
     average_degree: float = 6.0
     seed: int = 2014
+    #: Number of independent replications the throughput traces are
+    #: averaged over.
+    replications: int = 1
+    #: Worker threads used to run replications concurrently.
+    jobs: int = 1
 
     @classmethod
     def paper(cls) -> "Fig8Config":

@@ -22,6 +22,7 @@ experiment must reproduce:
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
@@ -34,6 +35,7 @@ from repro.experiments.reporting import render_table
 from repro.graph.topology import random_network
 from repro.mwis.greedy import GreedyMWISSolver
 from repro.sim.periodic import PeriodicResult
+from repro.sim.timing import TimingConfig
 
 __all__ = ["Fig8Result", "run_fig8", "format_fig8"]
 
@@ -45,11 +47,13 @@ class Fig8Result:
     config: Fig8Config
     #: theta-scaled efficiency of each period length (1/2, 9/10, 19/20, ...).
     period_efficiency: Dict[int, float] = field(default_factory=dict)
-    #: (period, policy) -> running average of the actual throughput.
+    #: (period, policy) -> running average of the actual throughput,
+    #: averaged over the configured replications.
     actual: Dict[Tuple[int, str], np.ndarray] = field(default_factory=dict)
-    #: (period, policy) -> running average of the estimated throughput.
+    #: (period, policy) -> running average of the estimated throughput,
+    #: averaged over the configured replications.
     estimated: Dict[Tuple[int, str], np.ndarray] = field(default_factory=dict)
-    #: Raw periodic simulation results.
+    #: First-replication periodic simulation results.
     runs: Dict[Tuple[int, str], PeriodicResult] = field(default_factory=dict)
 
     def policies(self) -> List[str]:
@@ -90,34 +94,78 @@ def run_fig8(config: Fig8Config = None) -> Fig8Result:
         config.num_nodes, config.num_channels, rng=rng
     )
     result = Fig8Result(config=config)
+    if config.replications > 1 and channels.has_stateful_models:
+        raise ValueError(
+            "averaging over replications requires i.i.d. channel models; "
+            "stateful models would couple the replications"
+        )
+    timing = TimingConfig.paper_defaults()
+    # Large extended graphs use the greedy local solver inside the protocol
+    # (the paper's constant-approximation substitution); small ones keep
+    # exact enumeration.
+    use_greedy = graph.num_nodes * graph.num_channels > 400
     for period in config.periods:
-        system = ChannelAccessSystem(graph, channels, seed=config.seed + period)
-        result.period_efficiency[period] = system.timing.period_efficiency(period)
-        # Large extended graphs use the greedy local solver inside the
-        # protocol (the paper's constant-approximation substitution); small
-        # ones keep exact enumeration.
-        use_greedy = graph.num_nodes * graph.num_channels > 400
-        local_solver = GreedyMWISSolver() if use_greedy else None
-        policies = {
-            "Algorithm2": system.paper_policy(
-                solver=system.distributed_solver(r=config.r)
-                if not use_greedy
-                else _greedy_distributed_solver(system, config.r, local_solver)
-            ),
-            "LLR": system.llr_policy(
-                solver=system.distributed_solver(r=config.r)
-                if not use_greedy
-                else _greedy_distributed_solver(system, config.r, local_solver)
-            ),
-        }
-        for name, policy in policies.items():
-            run = system.simulate_periodic(
-                policy, num_periods=config.num_periods, period_slots=period
+        result.period_efficiency[period] = timing.period_efficiency(period)
+        replication_seeds = _replication_seeds(
+            config.seed + period, config.replications
+        )
+
+        def run_replication(seed: int) -> Dict[str, PeriodicResult]:
+            system = ChannelAccessSystem(graph, channels, seed=seed)
+            local_solver = GreedyMWISSolver() if use_greedy else None
+            policies = {
+                "Algorithm2": system.paper_policy(
+                    solver=system.distributed_solver(r=config.r)
+                    if not use_greedy
+                    else _greedy_distributed_solver(system, config.r, local_solver)
+                ),
+                "LLR": system.llr_policy(
+                    solver=system.distributed_solver(r=config.r)
+                    if not use_greedy
+                    else _greedy_distributed_solver(system, config.r, local_solver)
+                ),
+            }
+            return {
+                name: system.simulate_periodic(
+                    policy, num_periods=config.num_periods, period_slots=period
+                )
+                for name, policy in policies.items()
+            }
+
+        if config.jobs == 1 or config.replications == 1:
+            replication_runs = [run_replication(seed) for seed in replication_seeds]
+        else:
+            workers = min(config.jobs, config.replications)
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                replication_runs = list(pool.map(run_replication, replication_seeds))
+        for name in replication_runs[0]:
+            runs = [replication[name] for replication in replication_runs]
+            result.runs[(period, name)] = runs[0]
+            result.actual[(period, name)] = np.mean(
+                [run.average_actual_trace() for run in runs], axis=0
             )
-            result.runs[(period, name)] = run
-            result.actual[(period, name)] = run.average_actual_trace()
-            result.estimated[(period, name)] = run.average_estimated_trace()
+            result.estimated[(period, name)] = np.mean(
+                [run.average_estimated_trace() for run in runs], axis=0
+            )
     return result
+
+
+def _replication_seeds(root_seed: int, replications: int) -> List[object]:
+    """Seeds for the replications of one experiment cell.
+
+    A single replication keeps the historical ``root_seed`` (so single-run
+    seeding matches earlier versions of this experiment); multiple
+    replications get ``SeedSequence.spawn`` children rooted at the same
+    seed — the same stream-derivation scheme as
+    :func:`repro.sim.batch.replication_rngs`.  Either form is a valid
+    ``ChannelAccessSystem`` seed (``numpy.random.default_rng`` accepts
+    both).
+    """
+    if replications <= 0:
+        raise ValueError(f"replications must be positive, got {replications}")
+    if replications == 1:
+        return [root_seed]
+    return list(np.random.SeedSequence(root_seed).spawn(replications))
 
 
 def _greedy_distributed_solver(system: ChannelAccessSystem, r: int, local_solver):

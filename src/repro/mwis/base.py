@@ -9,7 +9,7 @@ applied to the original conflict graph ``G``, the extended conflict graph
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import FrozenSet, Iterable, Optional, Sequence, Set, Tuple
 
 __all__ = ["IndependentSet", "MWISSolver", "is_independent", "set_weight"]

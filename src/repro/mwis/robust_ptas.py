@@ -123,7 +123,6 @@ class RobustPTASSolver(MWISSolver):
         ``(r_bar + 1)``-hop ball that must be removed from the graph.
         """
         radius = 0
-        current_ball = {v_max}
         current_is = IndependentSet.from_iterable({v_max}, weights)
         while True:
             next_ball = restricted_r_hop_neighborhood(
@@ -137,7 +136,6 @@ class RobustPTASSolver(MWISSolver):
             )
             if next_is.weight > self._rho * current_is.weight and not radius_capped:
                 radius += 1
-                current_ball = next_ball
                 current_is = next_is
                 continue
             # Criterion violated (or cap reached): keep MWIS(J_radius) and

@@ -3,6 +3,8 @@
 * :mod:`repro.sim.timing` -- the round structure of Fig. 2 / Table II and the
   effective-throughput factor ``theta = t_d / t_a``.
 * :mod:`repro.sim.engine` -- the per-round simulator (Algorithm 2's outer loop).
+* :mod:`repro.sim.batch` -- seed-streamed batch runner for ``R`` independent
+  replications of one policy.
 * :mod:`repro.sim.periodic` -- periodic (stale-weight) update simulation of
   Section V-C.
 * :mod:`repro.sim.results` -- result containers.
@@ -11,6 +13,7 @@
 
 from repro.sim.timing import TimingConfig
 from repro.sim.engine import Simulator
+from repro.sim.batch import BatchResult, BatchSimulator, replication_rngs
 from repro.sim.periodic import PeriodicSimulator, PeriodRecord, PeriodicResult
 from repro.sim.results import RoundRecord, SimulationResult
 from repro.sim.metrics import running_average, summarize_trace
@@ -18,6 +21,9 @@ from repro.sim.metrics import running_average, summarize_trace
 __all__ = [
     "TimingConfig",
     "Simulator",
+    "BatchResult",
+    "BatchSimulator",
+    "replication_rngs",
     "PeriodicSimulator",
     "PeriodRecord",
     "PeriodicResult",

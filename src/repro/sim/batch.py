@@ -1,0 +1,215 @@
+"""Batch simulation: ``R`` independent replications of one policy run.
+
+The paper's regret curves (Figs. 6-8) are averages over independent
+replications of the same experiment; :class:`BatchSimulator` runs those
+replications in one call.  Every replication gets
+
+* its own policy instance (built by a caller-supplied factory), and
+* its own random stream spawned from one root :class:`numpy.random.SeedSequence`,
+
+so replication ``i`` is reproducible in isolation no matter how many
+replications run or how they are scheduled across worker threads.  A
+single-replication batch reproduces a sequential :class:`~repro.sim.engine.Simulator`
+run bit for bit when the simulator is handed the matching spawned stream
+(see :func:`replication_rngs`).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.channels.state import ChannelState
+from repro.core.policies import Policy
+from repro.graph.extended import ExtendedConflictGraph
+from repro.sim.engine import Simulator
+from repro.sim.results import SimulationResult
+from repro.sim.timing import TimingConfig
+
+__all__ = ["BatchResult", "BatchSimulator", "replication_rngs"]
+
+#: Builds the policy of one replication; receives the replication index so
+#: stochastic policies can derive per-replication generators from it.
+PolicyFactory = Callable[[int], Policy]
+
+
+def replication_rngs(
+    seed: Optional[int], replications: int
+) -> List[np.random.Generator]:
+    """Independent generator streams, one per replication.
+
+    Streams are spawned from ``np.random.SeedSequence(seed)``, so replication
+    ``i`` always sees the same stream regardless of the total replication
+    count or of how replications are spread over jobs.  :class:`BatchSimulator`
+    consumes exactly these streams, which makes a single replication
+    reproducible with the sequential simulator::
+
+        rng = replication_rngs(seed, replications=1)[0]
+        trace = Simulator(graph, channels, rng=rng).run(policy, n)
+    """
+    if replications <= 0:
+        raise ValueError(f"replications must be positive, got {replications}")
+    root = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in root.spawn(replications)]
+
+
+@dataclass
+class BatchResult:
+    """Aggregate of ``R`` independent :class:`SimulationResult` traces."""
+
+    policy_name: str
+    results: List[SimulationResult] = field(default_factory=list)
+
+    @property
+    def num_replications(self) -> int:
+        """Number of replications ``R``."""
+        return len(self.results)
+
+    @property
+    def num_rounds(self) -> int:
+        """Number of rounds per replication."""
+        return self.results[0].num_rounds if self.results else 0
+
+    def expected_reward_matrix(self) -> np.ndarray:
+        """Per-round expected throughputs, shape ``(R, num_rounds)``."""
+        return np.stack([r.expected_rewards() for r in self.results])
+
+    def observed_reward_matrix(self) -> np.ndarray:
+        """Per-round observed throughputs, shape ``(R, num_rounds)``."""
+        return np.stack([r.observed_rewards() for r in self.results])
+
+    def mean_expected_rewards(self) -> np.ndarray:
+        """Replication-averaged per-round expected throughput."""
+        return self.expected_reward_matrix().mean(axis=0)
+
+    def mean_observed_rewards(self) -> np.ndarray:
+        """Replication-averaged per-round observed throughput."""
+        return self.observed_reward_matrix().mean(axis=0)
+
+    def std_expected_rewards(self) -> np.ndarray:
+        """Across-replication standard deviation of the expected throughput."""
+        return self.expected_reward_matrix().std(axis=0)
+
+    def mean_regret_trace(self) -> np.ndarray:
+        """Replication-averaged cumulative (ideal) regret trace.
+
+        Requires the batch to have been run with ``optimal_value`` set.
+        """
+        return np.stack(
+            [r.tracker.regret_trace() for r in self.results]
+        ).mean(axis=0)
+
+    def total_wall_clock(self) -> float:
+        """Summed measured wall-clock seconds across all replications."""
+        return float(sum(r.total_wall_clock() for r in self.results))
+
+
+class BatchSimulator:
+    """Run ``R`` independent replications of a policy on one environment.
+
+    Parameters mirror :class:`~repro.sim.engine.Simulator` except that the
+    randomness is specified as a root ``seed`` (streamed to the replications
+    via ``SeedSequence.spawn``) and the policy is specified as a factory so
+    every replication learns from scratch.
+
+    Parameters
+    ----------
+    graph:
+        The extended conflict graph ``H``.
+    channels:
+        The ground-truth channel state, shared across replications.  Models
+        whose sampling mutates internal state (``stateful = True``, e.g. the
+        Gilbert-Elliott extension) would couple the replications, so batches
+        with ``replications > 1`` refuse them.
+    timing:
+        Round timing; defaults to the paper's Table II values.
+    optimal_value:
+        Expected throughput ``R_1`` of the optimal fixed strategy, when known.
+    seed:
+        Root seed of the replication streams (``None`` draws OS entropy).
+    """
+
+    def __init__(
+        self,
+        graph: ExtendedConflictGraph,
+        channels: ChannelState,
+        timing: Optional[TimingConfig] = None,
+        optimal_value: Optional[float] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        if channels.num_nodes != graph.num_nodes or channels.num_channels != graph.num_channels:
+            raise ValueError(
+                "channel state shape "
+                f"({channels.num_nodes}x{channels.num_channels}) does not match "
+                f"the graph ({graph.num_nodes}x{graph.num_channels})"
+            )
+        self._graph = graph
+        self._channels = channels
+        self._timing = timing if timing is not None else TimingConfig.paper_defaults()
+        self._optimal_value = optimal_value
+        self._seed = seed
+
+    @property
+    def graph(self) -> ExtendedConflictGraph:
+        """The extended conflict graph."""
+        return self._graph
+
+    @property
+    def channels(self) -> ChannelState:
+        """The channel environment."""
+        return self._channels
+
+    @property
+    def seed(self) -> Optional[int]:
+        """Root seed of the replication streams."""
+        return self._seed
+
+    def run(
+        self,
+        policy_factory: PolicyFactory,
+        num_rounds: int,
+        replications: int = 1,
+        jobs: int = 1,
+    ) -> BatchResult:
+        """Run ``replications`` independent simulations of ``num_rounds`` each.
+
+        ``policy_factory`` is called with the replication index and must
+        return a fresh policy every time.  ``jobs > 1`` runs replications on
+        a thread pool; results are always ordered by replication index and
+        are identical to a serial run because each replication owns its
+        spawned stream and policy.  (The round loop is pure Python, so the
+        GIL bounds the speedup threads can deliver; the flag mainly keeps
+        the API ready for free-threaded / process-based execution.)
+        """
+        if num_rounds <= 0:
+            raise ValueError(f"num_rounds must be positive, got {num_rounds}")
+        if jobs <= 0:
+            raise ValueError(f"jobs must be positive, got {jobs}")
+        if replications > 1 and self._channels.has_stateful_models:
+            raise ValueError(
+                "the channel state contains stateful models (e.g. "
+                "Gilbert-Elliott); sharing them across replications would "
+                "couple the runs, so batches require i.i.d. channel models"
+            )
+        rngs = replication_rngs(self._seed, replications)
+
+        def run_one(index: int) -> SimulationResult:
+            policy = policy_factory(index)
+            simulator = Simulator(
+                self._graph,
+                self._channels,
+                timing=self._timing,
+                optimal_value=self._optimal_value,
+                rng=rngs[index],
+            )
+            return simulator.run(policy, num_rounds)
+
+        if jobs == 1 or replications == 1:
+            results = [run_one(index) for index in range(replications)]
+        else:
+            with ThreadPoolExecutor(max_workers=min(jobs, replications)) as pool:
+                results = list(pool.map(run_one, range(replications)))
+        return BatchResult(policy_name=results[0].policy_name, results=results)

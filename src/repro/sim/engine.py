@@ -16,6 +16,7 @@ treated as a hard error rather than silently scored.
 
 from __future__ import annotations
 
+import time
 from typing import Optional
 
 import numpy as np
@@ -92,11 +93,11 @@ class Simulator:
             optimal_value=self._optimal_value, theta=self._timing.theta
         )
         result = SimulationResult(policy_name=policy.name, tracker=tracker)
-        mean_matrix = self._channels.mean_matrix()
         for round_index in range(1, num_rounds + 1):
+            started_at = time.perf_counter()
             strategy = policy.select_strategy(round_index)
             self._validate_strategy(strategy)
-            record = self._play_round(policy, round_index, strategy, mean_matrix)
+            record = self._play_round(policy, round_index, strategy, started_at)
             result.rounds.append(record)
             tracker.record(record.expected_reward, record.observed_reward)
         return result
@@ -115,38 +116,34 @@ class Simulator:
         policy: Policy,
         round_index: int,
         strategy: Strategy,
-        mean_matrix: np.ndarray,
+        started_at: float,
     ) -> RoundRecord:
-        assignment = strategy.as_dict()
-        observations_by_node = self._channels.sample_assignment(assignment, self._rng)
-        observations_by_arm = {
-            self._graph.vertex_index(node, assignment[node]): value
-            for node, value in observations_by_node.items()
-        }
-        estimated_weight = self._estimated_strategy_weight(policy, round_index, strategy)
-        policy.observe(round_index, strategy, observations_by_arm)
-        expected_reward = strategy.expected_reward(mean_matrix)
-        observed_reward = float(sum(observations_by_node.values()))
+        arms = strategy.arm_array(self._graph)
+        values = self._channels.sample_arm_array(arms, self._rng)
+        estimated_weight = self._estimated_strategy_weight(policy, round_index, arms)
+        policy.observe_arms(round_index, strategy, arms, values)
+        expected_reward = self._channels.expected_reward_arms(arms)
+        observed_reward = float(values.sum())
         return RoundRecord(
             round_index=round_index,
             strategy=strategy,
             expected_reward=expected_reward,
             observed_reward=observed_reward,
             estimated_weight=estimated_weight,
+            duration_s=time.perf_counter() - started_at,
         )
 
     def _estimated_strategy_weight(
-        self, policy: Policy, round_index: int, strategy: Strategy
+        self, policy: Policy, round_index: int, arms: np.ndarray
     ) -> Optional[float]:
         """Weight the policy's own index assigns to the played strategy.
 
         Only available for index-based policies exposing
         ``estimated_weights``; other policies simply record ``None``.
+        The sum is a single vectorized gather over the arm-index array.
         """
         estimated_weights = getattr(policy, "estimated_weights", None)
         if not callable(estimated_weights):
             return None
-        weights = estimated_weights(round_index)
-        return float(
-            sum(weights[arm] for arm in strategy.arms(self._graph))
-        )
+        weights = np.asarray(estimated_weights(round_index), dtype=float)
+        return float(weights[arms].sum())

@@ -130,7 +130,6 @@ class PeriodicSimulator:
         result = PeriodicResult(
             policy_name=policy.name, period_slots=self._period_slots
         )
-        mean_matrix = self._channels.mean_matrix()
         t_a = self._timing.round_ms
         t_d = self._timing.data_transmission_ms
         y = self._period_slots
@@ -144,29 +143,21 @@ class PeriodicSimulator:
                 raise RuntimeError(
                     f"policy produced an infeasible strategy: {strategy!r}"
                 )
+            arms = strategy.arm_array(self._graph)
             estimated_weight = self._estimated_strategy_weight(
-                policy, decision_slot, strategy
+                policy, decision_slot, arms
             )
-            assignment = strategy.as_dict()
-            arm_of_node = {
-                node: self._graph.vertex_index(node, channel)
-                for node, channel in assignment.items()
-            }
             weighted_observed = 0.0
             for slot_offset in range(y):
                 slot_index = decision_slot + slot_offset
-                observations = self._channels.sample_assignment(assignment, self._rng)
-                slot_reward = float(sum(observations.values()))
+                values = self._channels.sample_arm_array(arms, self._rng)
+                slot_reward = float(values.sum())
                 # First slot of the period loses t_s to the strategy decision.
                 slot_weight = t_d if slot_offset == 0 else t_a
                 weighted_observed += slot_reward * slot_weight
-                policy.observe(
-                    slot_index,
-                    strategy,
-                    {arm_of_node[node]: value for node, value in observations.items()},
-                )
+                policy.observe_arms(slot_index, strategy, arms, values)
             actual_throughput = weighted_observed / period_time
-            expected_reward = strategy.expected_reward(mean_matrix)
+            expected_reward = self._channels.expected_reward_arms(arms)
             expected_throughput = expected_reward * estimation_scale
             estimated_throughput = (
                 estimated_weight * estimation_scale
@@ -185,10 +176,10 @@ class PeriodicSimulator:
         return result
 
     def _estimated_strategy_weight(
-        self, policy: Policy, round_index: int, strategy: Strategy
+        self, policy: Policy, round_index: int, arms: np.ndarray
     ) -> Optional[float]:
         estimated_weights = getattr(policy, "estimated_weights", None)
         if not callable(estimated_weights):
             return None
-        weights = estimated_weights(round_index)
-        return float(sum(weights[arm] for arm in strategy.arms(self._graph)))
+        weights = np.asarray(estimated_weights(round_index), dtype=float)
+        return float(weights[arms].sum())

@@ -25,6 +25,9 @@ class RoundRecord:
     observed_reward: float
     #: Estimated weight of the played strategy under the policy's index.
     estimated_weight: Optional[float] = None
+    #: Wall-clock seconds spent simulating the round (selection + play),
+    #: recorded for benchmark trajectories; ``None`` when not measured.
+    duration_s: Optional[float] = None
 
 
 @dataclass
@@ -65,6 +68,21 @@ class SimulationResult:
             ],
             dtype=float,
         )
+
+    def round_durations(self) -> np.ndarray:
+        """Per-round wall-clock seconds (NaN when not recorded)."""
+        return np.array(
+            [
+                record.duration_s if record.duration_s is not None else np.nan
+                for record in self.rounds
+            ],
+            dtype=float,
+        )
+
+    def total_wall_clock(self) -> float:
+        """Total measured wall-clock seconds across all rounds."""
+        durations = self.round_durations()
+        return float(np.nansum(durations)) if durations.size else 0.0
 
     def strategy_play_counts(self) -> Dict[Strategy, int]:
         """How many times each distinct strategy was played."""

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.channels.catalog import (
-    DEFAULT_RELATIVE_STD,
     PAPER_RATES_KBPS,
     assign_rates_to_network,
     normalized_paper_rates,

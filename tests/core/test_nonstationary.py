@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.channels.dynamics import GilbertElliottChannel
 from repro.channels.state import ChannelState
 from repro.core.nonstationary import (
     DynamicOraclePolicy,

@@ -1,6 +1,5 @@
 """Tests for repro.distributed.backbone (CDS broadcast backbone)."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
@@ -11,7 +10,6 @@ from repro.distributed.backbone import (
     is_dominating_set,
     pipelined_broadcast_timeslots,
 )
-from repro.graph.extended import ExtendedConflictGraph
 from repro.graph.topology import connected_random_network, linear_network, star_network
 
 

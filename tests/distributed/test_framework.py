@@ -1,10 +1,8 @@
 """Tests for repro.distributed.framework (the MWIS-solver adapter)."""
 
-import numpy as np
 import pytest
 
 from repro.distributed.framework import DistributedMWISSolver
-from repro.graph.extended import ExtendedConflictGraph
 from repro.mwis.base import is_independent
 from repro.mwis.greedy import GreedyMWISSolver
 

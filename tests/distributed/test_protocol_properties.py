@@ -9,8 +9,6 @@ over random topologies, weight vectors, radii and mini-round budgets.
 
 from __future__ import annotations
 
-import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.distributed.ptas import DistributedRobustPTAS

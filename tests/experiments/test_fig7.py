@@ -1,6 +1,5 @@
 """Tests for the Fig. 7 regret experiment."""
 
-import numpy as np
 import pytest
 
 from repro.experiments.config import Fig7Config

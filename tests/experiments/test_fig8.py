@@ -1,6 +1,5 @@
 """Tests for the Fig. 8 periodic-update experiment."""
 
-import numpy as np
 import pytest
 
 from repro.experiments.config import Fig8Config

@@ -1,7 +1,5 @@
 """Tests for repro.graph.geometry."""
 
-import math
-
 import numpy as np
 import pytest
 

@@ -12,7 +12,6 @@ Invariants fuzzed here:
 
 from __future__ import annotations
 
-import numpy as np
 from hypothesis import given, settings, strategies as st
 
 from repro.graph.conflict_graph import ConflictGraph

@@ -11,7 +11,7 @@ The invariants checked here are the ones the learning scheme relies on:
 
 from __future__ import annotations
 
-from typing import List, Set, Tuple
+from typing import List, Set
 
 import pytest
 from hypothesis import given, settings, strategies as st

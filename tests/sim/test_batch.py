@@ -1,0 +1,207 @@
+"""Tests for repro.sim.batch (seed-streamed replication batches)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.channels.models import BernoulliChannel, GaussianChannel
+from repro.channels.state import ChannelState
+from repro.core.policies import CombinatorialUCBPolicy, LLRPolicy
+from repro.graph.conflict_graph import ConflictGraph
+from repro.graph.extended import ExtendedConflictGraph
+from repro.mwis.exact import ExactMWISSolver
+from repro.sim.batch import BatchSimulator, replication_rngs
+from repro.sim.engine import Simulator
+
+
+def _build_environment():
+    graph = ConflictGraph(4, [(0, 1), (1, 2), (2, 3), (0, 3)], num_channels=2)
+    extended = ExtendedConflictGraph(graph)
+    means = np.array([[2.0, 5.0], [7.0, 1.0], [3.0, 4.0], [6.0, 2.0]])
+    channels = ChannelState.from_mean_matrix(means, relative_std=0.05)
+    return extended, channels
+
+
+@pytest.fixture
+def environment():
+    return _build_environment()
+
+
+def _ucb_factory(extended):
+    return lambda index: CombinatorialUCBPolicy(
+        extended, solver=ExactMWISSolver(), reward_scale=7.0
+    )
+
+
+class TestReplicationRngs:
+    def test_streams_are_deterministic_and_independent_of_count(self):
+        first_of_one = replication_rngs(7, 1)[0]
+        first_of_three = replication_rngs(7, 3)[0]
+        assert first_of_one.normal() == first_of_three.normal()
+
+    def test_distinct_replications_get_distinct_streams(self):
+        rngs = replication_rngs(7, 4)
+        draws = {rng.normal() for rng in rngs}
+        assert len(draws) == 4
+
+    def test_invalid_replication_count_rejected(self):
+        with pytest.raises(ValueError):
+            replication_rngs(0, 0)
+
+
+class TestBatchMatchesSequential:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_single_replication_reproduces_sequential_trace_bitwise(self, seed):
+        extended, channels = _build_environment()
+        batch = BatchSimulator(extended, channels, seed=seed).run(
+            _ucb_factory(extended), num_rounds=40, replications=1
+        )
+        sequential = Simulator(
+            extended, channels, rng=replication_rngs(seed, 1)[0]
+        ).run(_ucb_factory(extended)(0), num_rounds=40)
+        batch_rounds = batch.results[0].rounds
+        assert len(batch_rounds) == len(sequential.rounds)
+        for ours, theirs in zip(batch_rounds, sequential.rounds):
+            assert ours.strategy == theirs.strategy
+            assert ours.expected_reward == theirs.expected_reward
+            assert ours.observed_reward == theirs.observed_reward
+            assert ours.estimated_weight == theirs.estimated_weight
+
+    def test_parallel_jobs_match_serial_run_bitwise(self, environment):
+        extended, channels = environment
+        serial = BatchSimulator(extended, channels, seed=3).run(
+            _ucb_factory(extended), num_rounds=25, replications=4, jobs=1
+        )
+        threaded = BatchSimulator(extended, channels, seed=3).run(
+            _ucb_factory(extended), num_rounds=25, replications=4, jobs=4
+        )
+        assert np.array_equal(
+            serial.observed_reward_matrix(), threaded.observed_reward_matrix()
+        )
+        assert np.array_equal(
+            serial.expected_reward_matrix(), threaded.expected_reward_matrix()
+        )
+
+
+class TestDictAndArraySamplingAgree:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        data=st.data(),
+    )
+    def test_gaussian_fast_path_matches_dict_api(self, seed, data):
+        means = np.arange(1.0, 13.0).reshape(4, 3)
+        channels = ChannelState.from_mean_matrix(means, relative_std=0.3)
+        arms = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=channels.num_arms - 1),
+                min_size=1,
+                max_size=channels.num_arms,
+                unique=True,
+            )
+        )
+        by_dict = channels.sample_arms(arms, np.random.default_rng(seed))
+        by_array = channels.sample_arm_array(
+            np.array(arms, dtype=np.int64), np.random.default_rng(seed)
+        )
+        assert [by_dict[arm] for arm in arms] == list(by_array)
+
+    def test_non_gaussian_models_fall_back_to_per_arm_sampling(self):
+        channels = ChannelState(
+            [
+                [BernoulliChannel(0.4), GaussianChannel(2.0, 0.1)],
+                [GaussianChannel(3.0, 0.2), BernoulliChannel(0.9)],
+            ]
+        )
+        by_dict = channels.sample_arms([0, 1, 2, 3], np.random.default_rng(11))
+        by_array = channels.sample_arm_array(
+            np.arange(4, dtype=np.int64), np.random.default_rng(11)
+        )
+        assert [by_dict[arm] for arm in range(4)] == list(by_array)
+
+    def test_out_of_range_arm_rejected(self):
+        channels = ChannelState.from_mean_matrix(np.ones((2, 2)))
+        with pytest.raises(ValueError):
+            channels.sample_arm_array(
+                np.array([4], dtype=np.int64), np.random.default_rng(0)
+            )
+
+
+class TestBatchResultAggregation:
+    def test_matrix_shapes_and_means(self, environment):
+        extended, channels = environment
+        batch = BatchSimulator(extended, channels, seed=5, optimal_value=13.0).run(
+            _ucb_factory(extended), num_rounds=30, replications=3
+        )
+        assert batch.num_replications == 3
+        assert batch.num_rounds == 30
+        assert batch.expected_reward_matrix().shape == (3, 30)
+        assert batch.mean_expected_rewards() == pytest.approx(
+            batch.expected_reward_matrix().mean(axis=0)
+        )
+        assert batch.mean_regret_trace().shape == (30,)
+        assert batch.total_wall_clock() > 0.0
+
+    def test_policy_factory_receives_replication_index(self, environment):
+        extended, channels = environment
+        seen = []
+
+        def factory(index):
+            seen.append(index)
+            return LLRPolicy(extended, solver=ExactMWISSolver(), reward_scale=7.0)
+
+        BatchSimulator(extended, channels, seed=1).run(
+            factory, num_rounds=5, replications=3
+        )
+        assert seen == [0, 1, 2]
+
+    def test_round_durations_are_recorded(self, environment):
+        extended, channels = environment
+        batch = BatchSimulator(extended, channels, seed=2).run(
+            _ucb_factory(extended), num_rounds=10, replications=1
+        )
+        durations = batch.results[0].round_durations()
+        assert durations.shape == (10,)
+        assert np.isfinite(durations).all()
+        assert (durations > 0).all()
+
+
+class TestBatchValidation:
+    def test_mismatched_channel_shape_rejected(self, environment):
+        extended, _ = environment
+        wrong = ChannelState.from_mean_matrix(np.ones((2, 2)))
+        with pytest.raises(ValueError):
+            BatchSimulator(extended, wrong)
+
+    def test_non_positive_rounds_rejected(self, environment):
+        extended, channels = environment
+        with pytest.raises(ValueError):
+            BatchSimulator(extended, channels, seed=0).run(
+                _ucb_factory(extended), num_rounds=0, replications=1
+            )
+
+    def test_non_positive_jobs_rejected(self, environment):
+        extended, channels = environment
+        with pytest.raises(ValueError):
+            BatchSimulator(extended, channels, seed=0).run(
+                _ucb_factory(extended), num_rounds=5, replications=1, jobs=0
+            )
+
+    def test_stateful_channel_models_rejected_for_multiple_replications(self):
+        from repro.channels.dynamics import GilbertElliottChannel
+
+        graph = ConflictGraph(2, [(0, 1)], num_channels=1)
+        extended = ExtendedConflictGraph(graph)
+        channels = ChannelState(
+            [
+                [GilbertElliottChannel(5.0, 1.0, 0.1, 0.3)],
+                [GaussianChannel(2.0, 0.1)],
+            ]
+        )
+        simulator = BatchSimulator(extended, channels, seed=0)
+        factory = _ucb_factory(extended)
+        # A single replication owns the only stream, so it is allowed.
+        simulator.run(factory, num_rounds=3, replications=1)
+        with pytest.raises(ValueError, match="stateful"):
+            simulator.run(factory, num_rounds=3, replications=2)

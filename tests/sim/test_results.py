@@ -1,7 +1,6 @@
 """Tests for repro.sim.results."""
 
 import numpy as np
-import pytest
 
 from repro.core.regret import RegretTracker
 from repro.core.strategy import Strategy

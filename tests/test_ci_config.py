@@ -1,0 +1,93 @@
+"""Validity checks for the CI pipeline and packaging metadata.
+
+The workflow must stay parseable YAML with the jobs and commands the project
+relies on; ``pyproject.toml`` must keep the pytest path configuration that
+makes ``pip install -e .`` + ``pytest`` work without PYTHONPATH tricks.
+"""
+
+import pathlib
+import sys
+
+import yaml
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+WORKFLOW = REPO_ROOT / ".github" / "workflows" / "ci.yml"
+PYPROJECT = REPO_ROOT / "pyproject.toml"
+
+if sys.version_info >= (3, 11):
+    import tomllib
+else:  # pragma: no cover - exercised on the 3.10 CI leg
+    tomllib = None
+
+
+def _load_workflow():
+    return yaml.safe_load(WORKFLOW.read_text())
+
+
+class TestWorkflow:
+    def test_workflow_parses_and_has_a_name(self):
+        workflow = _load_workflow()
+        assert workflow["name"] == "CI"
+
+    def test_triggers_cover_push_and_pull_request(self):
+        workflow = _load_workflow()
+        # PyYAML resolves the bare `on` key to boolean True (YAML 1.1).
+        triggers = workflow.get("on", workflow.get(True))
+        assert "push" in triggers
+        assert "pull_request" in triggers
+
+    def test_expected_jobs_present(self):
+        jobs = _load_workflow()["jobs"]
+        assert set(jobs) == {"lint", "tests", "benchmark-smoke"}
+
+    def test_lint_job_runs_ruff(self):
+        lint = _load_workflow()["jobs"]["lint"]
+        commands = [step.get("run", "") for step in lint["steps"]]
+        assert any(command.startswith("ruff check") for command in commands)
+
+    def test_test_matrix_covers_both_python_versions(self):
+        tests = _load_workflow()["jobs"]["tests"]
+        assert tests["strategy"]["matrix"]["python-version"] == ["3.10", "3.12"]
+        commands = [step.get("run", "") for step in tests["steps"]]
+        assert any("pytest" in command for command in commands)
+
+    def test_benchmark_smoke_disables_benchmarking(self):
+        smoke = _load_workflow()["jobs"]["benchmark-smoke"]
+        commands = [step.get("run", "") for step in smoke["steps"]]
+        assert any(
+            "pytest benchmarks" in command and "--benchmark-disable" in command
+            for command in commands
+        )
+
+    def test_jobs_cache_pip_against_pyproject(self):
+        jobs = _load_workflow()["jobs"]
+        for job in jobs.values():
+            setup_steps = [
+                step
+                for step in job["steps"]
+                if "setup-python" in step.get("uses", "")
+            ]
+            assert setup_steps, "every job must set up python"
+            for step in setup_steps:
+                assert step["with"]["cache"] == "pip"
+                assert step["with"]["cache-dependency-path"] == "pyproject.toml"
+
+
+class TestPyproject:
+    def test_pyproject_exists_as_setup_py_promises(self):
+        assert PYPROJECT.is_file()
+
+    def test_pytest_pythonpath_configured(self):
+        if tomllib is None:
+            text = PYPROJECT.read_text()
+            assert 'pythonpath = ["src"]' in text
+            return
+        config = tomllib.loads(PYPROJECT.read_text())
+        assert config["tool"]["pytest"]["ini_options"]["pythonpath"] == ["src"]
+
+    def test_ruff_configuration_committed(self):
+        if tomllib is None:
+            assert "[tool.ruff]" in PYPROJECT.read_text()
+            return
+        config = tomllib.loads(PYPROJECT.read_text())
+        assert "ruff" in config["tool"]

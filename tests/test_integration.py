@@ -6,12 +6,11 @@ decision, and check the resulting behaviour against the paper's claims
 (conflict-free transmissions, learning progress, solver interchangeability).
 """
 
-import numpy as np
 import pytest
 
 from repro.api import ChannelAccessSystem
 from repro.channels.state import ChannelState
-from repro.core.policies import CombinatorialUCBPolicy, OraclePolicy
+from repro.core.policies import CombinatorialUCBPolicy
 from repro.distributed.framework import DistributedMWISSolver
 from repro.graph.extended import ExtendedConflictGraph
 from repro.graph.topology import connected_random_network, grid_network, linear_network
