@@ -18,7 +18,7 @@ from repro.graph.topology import linear_network, random_network
 
 def test_fig6_experiment(benchmark):
     """Regenerate the Fig. 6 convergence series (scaled-down networks)."""
-    result = benchmark(run_fig6, Fig6Config.quick())
+    result = benchmark(run_fig6, Fig6Config.from_scenario("fig6-quick"))
     print("\n" + format_fig6(result))
     assert all(trajectory[-1] > 0 for trajectory in result.trajectories.values())
 

@@ -20,7 +20,7 @@ def test_table2_report(benchmark):
 def test_complexity_measurements(benchmark):
     """Measure messages / storage / local-instance sizes per round (E6)."""
     result = benchmark.pedantic(
-        run_complexity, args=(ComplexityConfig.quick(),), rounds=1, iterations=1
+        run_complexity, args=(ComplexityConfig.from_scenario("complexity-quick"),), rounds=1, iterations=1
     )
     print("\n" + format_complexity(result))
     for record in result.records.values():

@@ -42,7 +42,7 @@ def main() -> None:
     )
     args = parser.parse_args()
 
-    config = Fig6Config.paper() if args.paper else Fig6Config(
+    config = Fig6Config.from_scenario("fig6-paper") if args.paper else Fig6Config(
         network_sizes=((30, 5), (60, 5), (30, 10)), r=2, max_mini_rounds=10
     )
     print("Running the Fig. 6 convergence study ...")

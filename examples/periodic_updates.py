@@ -31,7 +31,7 @@ def main() -> None:
     args = parser.parse_args()
 
     if args.paper:
-        config = Fig8Config.paper()
+        config = Fig8Config.from_scenario("fig8-paper")
     else:
         config = Fig8Config(
             num_nodes=20, num_channels=4, periods=(1, 5, 10, 20), num_periods=100, r=1

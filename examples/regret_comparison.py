@@ -32,7 +32,7 @@ def main() -> None:
     args = parser.parse_args()
 
     if args.paper:
-        config = Fig7Config.paper()
+        config = Fig7Config.from_scenario("fig7-paper")
     else:
         config = Fig7Config(num_nodes=10, num_channels=3, num_rounds=300, r=2)
     if args.rounds is not None:

@@ -23,6 +23,13 @@ Quickstart::
     result = system.simulate(policy, num_rounds=200,
                              optimal_value=system.optimal_value())
     print(result.tracker.practical_regret_trace()[-1])
+
+Or declaratively, through the scenario layer (``repro.spec``)::
+
+    from repro import get_scenario, run_scenario
+
+    result = run_scenario(get_scenario("fig7-quick"))
+    print(result.series["practical_regret[Algorithm2]"][-1])
 """
 
 from repro.api import ChannelAccessSystem
@@ -75,6 +82,20 @@ from repro.sim import (
     TimingConfig,
     replication_rngs,
 )
+from repro.spec import (
+    ChannelSpec,
+    ExperimentResult,
+    PolicySpec,
+    ReplicationSpec,
+    ScenarioSpec,
+    ScheduleSpec,
+    SpecError,
+    TopologySpec,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+    run_scenario,
+)
 
 __version__ = "1.0.0"
 
@@ -117,5 +138,17 @@ __all__ = [
     "PeriodicSimulator",
     "Simulator",
     "TimingConfig",
+    "ScenarioSpec",
+    "TopologySpec",
+    "ChannelSpec",
+    "PolicySpec",
+    "ScheduleSpec",
+    "ReplicationSpec",
+    "SpecError",
+    "ExperimentResult",
+    "get_scenario",
+    "list_scenarios",
+    "register_scenario",
+    "run_scenario",
     "__version__",
 ]

@@ -25,7 +25,7 @@ from repro.graph.conflict_graph import ConflictGraph
 from repro.graph.extended import ExtendedConflictGraph
 from repro.mwis.base import MWISSolver
 from repro.mwis.exact import ExactMWISSolver
-from repro.sim.batch import BatchResult, BatchSimulator
+from repro.sim.batch import BatchResult, BatchSimulator, child_seed_sequences
 from repro.sim.engine import Simulator
 from repro.sim.periodic import PeriodicResult, PeriodicSimulator
 from repro.sim.results import SimulationResult
@@ -46,8 +46,21 @@ class ChannelAccessSystem:
     timing:
         Round timing (defaults to the paper's Table II values).
     seed:
-        Seed of the random generator used for channel draws — anything
-        ``numpy.random.default_rng`` accepts (int, ``SeedSequence``, ...).
+        Root seed of the per-run random streams — an int, ``None`` (OS
+        entropy) or a ``numpy.random.SeedSequence``.
+
+    Notes
+    -----
+    Each :meth:`simulate` / :meth:`simulate_periodic` call draws from its own
+    random stream: the ``k``-th run on a system consumes child ``k`` spawned
+    from the system seed (the exact streams
+    :func:`repro.sim.batch.replication_rngs` produces), so run ``k`` is
+    bit-reproducible regardless of how long earlier runs were, and a
+    sequential ``simulate`` call matches replication 0 of
+    :meth:`simulate_batch` exactly.  *Behaviour change (intentional):*
+    earlier versions shared one mutable generator across calls, so a second
+    run's draws silently depended on how many rounds the first consumed;
+    traces from those versions are not bitwise comparable.
     """
 
     def __init__(
@@ -68,8 +81,23 @@ class ChannelAccessSystem:
         self.extended_graph = ExtendedConflictGraph(conflict_graph)
         self.channels = channels
         self.timing = timing if timing is not None else TimingConfig.paper_defaults()
-        self._seed = seed
-        self._rng = np.random.default_rng(seed)
+        # Root of the per-run streams.  Resolved once so that seed=None
+        # (OS entropy) still gives every run of this system a stream from
+        # the same root.
+        self._root_seq = (
+            seed
+            if isinstance(seed, np.random.SeedSequence)
+            else np.random.SeedSequence(seed)
+        )
+        self._runs_started = 0
+
+    def _next_run_rng(self) -> np.random.Generator:
+        """The random stream of the next sequential run (child ``k`` of the seed)."""
+        (child,) = child_seed_sequences(
+            self._root_seq, 1, first=self._runs_started
+        )
+        self._runs_started += 1
+        return np.random.default_rng(child)
 
     # ------------------------------------------------------------------
     # Component factories
@@ -138,13 +166,18 @@ class ChannelAccessSystem:
         num_rounds: int,
         optimal_value: Optional[float] = None,
     ) -> SimulationResult:
-        """Run ``policy`` for ``num_rounds`` rounds with per-round updates."""
+        """Run ``policy`` for ``num_rounds`` rounds with per-round updates.
+
+        The ``k``-th run on this system consumes its own stream (child ``k``
+        of the system seed), so it is reproducible in isolation; the first
+        run matches replication 0 of :meth:`simulate_batch` bit for bit.
+        """
         simulator = Simulator(
             self.extended_graph,
             self.channels,
             timing=self.timing,
             optimal_value=optimal_value,
-            rng=self._rng,
+            rng=self._next_run_rng(),
         )
         return simulator.run(policy, num_rounds)
 
@@ -169,7 +202,10 @@ class ChannelAccessSystem:
             self.channels,
             timing=self.timing,
             optimal_value=optimal_value,
-            seed=self._seed,
+            # The resolved root (not the raw seed): with seed=None the root
+            # entropy is drawn once in __init__, so batches and sequential
+            # runs on this system share one stream family.
+            seed=self._root_seq,
         )
         return simulator.run(
             policy_factory, num_rounds, replications=replications, jobs=jobs
@@ -178,12 +214,16 @@ class ChannelAccessSystem:
     def simulate_periodic(
         self, policy: Policy, num_periods: int, period_slots: int
     ) -> PeriodicResult:
-        """Run ``policy`` with strategy decisions every ``period_slots`` slots."""
+        """Run ``policy`` with strategy decisions every ``period_slots`` slots.
+
+        Like :meth:`simulate`, each call consumes its own per-run stream
+        spawned from the system seed.
+        """
         simulator = PeriodicSimulator(
             self.extended_graph,
             self.channels,
             period_slots=period_slots,
             timing=self.timing,
-            rng=self._rng,
+            rng=self._next_run_rng(),
         )
         return simulator.run(policy, num_periods)

@@ -1,24 +1,39 @@
 """Command-line entry point for the experiment harness.
 
-Usage (after installing the package)::
+The primary interface is the declarative scenario API::
+
+    python -m repro list                          # registered scenarios
+    python -m repro show fig7-quick               # print a scenario's JSON spec
+    python -m repro run fig7-quick                # run a registered scenario
+    python -m repro run fig8-quick --set schedule.periods=[1,5] \
+                                   --set replication.replications=4
+    python -m repro run my-scenario.json --json out.json
+
+``run`` accepts either a registered scenario name or a path to a JSON spec
+file, applies ``--set key=value`` dotted-path overrides, and can export the
+uniform result envelope (``repro.scenario-result/v1``) with ``--json``
+(``--json -`` prints the JSON instead of the text report).
+
+The legacy sub-commands remain as aliases that build specs internally::
 
     python -m repro fig6 [--paper]
     python -m repro fig7 [--paper] [--rounds N] [--replications R] [--jobs J]
     python -m repro fig8 [--paper] [--periods 1,5,10,20] [--updates N] \
                          [--replications R] [--jobs J]
     python -m repro table2
-    python -m repro complexity
+    python -m repro complexity [--paper]
 
-Every sub-command prints the same text tables/series as the corresponding
-``examples/`` script; ``--paper`` switches from the fast scaled-down
-configuration to the exact Section V parameters.  ``--replications``
-averages the fig7/fig8 curves over seed-streamed independent replications
-(run on ``--jobs`` worker threads), as in the paper's averaged plots.
+Every legacy sub-command prints the same text tables/series as the
+corresponding ``examples/`` script; ``--paper`` switches from the fast
+scaled-down configuration to the exact Section V parameters (``complexity``
+now follows the same convention — it used to run paper scale only).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import pathlib
 import sys
 from typing import Optional, Sequence
 
@@ -37,6 +52,16 @@ from repro.experiments import (
     run_fig7,
     run_fig8,
 )
+from repro.spec import (
+    ScenarioSpec,
+    SpecError,
+    apply_overrides,
+    default_registry,
+    format_result,
+    get_scenario,
+    parse_set_items,
+    run_scenario,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -49,6 +74,38 @@ def build_parser() -> argparse.ArgumentParser:
         "in Multi-Hop Networks With Unknown Channel Variables' (ICDCS 2014).",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run = subparsers.add_parser(
+        "run", help="run a registered scenario (or a JSON spec file)"
+    )
+    run.add_argument(
+        "scenario",
+        help="registered scenario name (see `repro list`) or path to a "
+        "JSON spec file",
+    )
+    run.add_argument(
+        "--set",
+        action="append",
+        default=[],
+        dest="overrides",
+        metavar="KEY=VALUE",
+        help="override a spec field by dotted path "
+        "(e.g. --set schedule.num_rounds=200 --set policies.0.r=1)",
+    )
+    run.add_argument("--seed", type=int, default=None, help="override the scenario seed")
+    run.add_argument(
+        "--json",
+        dest="json_path",
+        default=None,
+        metavar="PATH",
+        help="write the result envelope as JSON to PATH ('-' prints JSON "
+        "instead of the text report)",
+    )
+
+    subparsers.add_parser("list", help="list the registered scenarios")
+
+    show = subparsers.add_parser("show", help="print a scenario's JSON spec")
+    show.add_argument("scenario", help="registered scenario name")
 
     fig6 = subparsers.add_parser("fig6", help="Fig. 6: strategy-decision convergence")
     fig6.add_argument("--paper", action="store_true", help="use the paper-scale networks")
@@ -74,6 +131,9 @@ def build_parser() -> argparse.ArgumentParser:
     complexity = subparsers.add_parser(
         "complexity", help="Section IV-C complexity measurements"
     )
+    complexity.add_argument(
+        "--paper", action="store_true", help="use the paper-scale networks"
+    )
     complexity.add_argument("--seed", type=int, default=None, help="override the random seed")
     return parser
 
@@ -94,22 +154,87 @@ def _add_replication_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _replace(config, **overrides):
-    """dataclasses.replace that skips ``None`` overrides."""
-    from dataclasses import replace
+def _override(config, **overrides):
+    """Apply flat field overrides to a config/spec, skipping ``None`` values.
 
-    return replace(config, **{k: v for k, v in overrides.items() if v is not None})
+    Shared by the legacy flag handlers and (through dotted paths) the
+    ``run --set`` machinery — both funnel into
+    :func:`repro.spec.apply_overrides`.
+    """
+    return apply_overrides(config, overrides)
+
+
+def _preset(args) -> str:
+    """Legacy preset selection: ``--paper`` switches quick -> paper scale."""
+    return "paper" if args.paper else "quick"
+
+
+def _load_spec(reference: str) -> ScenarioSpec:
+    """Resolve a ``run`` target: registry name or JSON spec file."""
+    looks_like_file = reference.endswith(".json") or "/" in reference
+    if looks_like_file:
+        path = pathlib.Path(reference)
+        if not path.is_file():
+            raise SpecError(
+                f"spec file {reference!r} does not exist (registered "
+                f"scenarios: {', '.join(default_registry().names())})"
+            )
+        try:
+            data = json.loads(path.read_text())
+        except json.JSONDecodeError as err:
+            raise SpecError(f"spec file {reference!r} is not valid JSON: {err}") from None
+        return ScenarioSpec.from_dict(data, path=reference)
+    return get_scenario(reference)
+
+
+def _run_scenario_command(args) -> str:
+    spec = _load_spec(args.scenario)
+    overrides = parse_set_items(args.overrides)
+    if args.seed is not None:
+        if "seed" in overrides and overrides["seed"] != args.seed:
+            raise SpecError(
+                f"conflicting seeds: --seed {args.seed} vs "
+                f"--set seed={overrides['seed']}; give only one"
+            )
+        overrides["seed"] = args.seed
+    spec = apply_overrides(spec, overrides)
+    result = run_scenario(spec)
+    if args.json_path == "-":
+        return result.to_json()
+    if args.json_path is not None:
+        pathlib.Path(args.json_path).write_text(result.to_json() + "\n")
+    return format_result(result)
+
+
+def _list_scenarios_command(_args) -> str:
+    from repro.reporting import render_table
+
+    registry = default_registry()
+    rows = []
+    for name in registry.names():
+        spec = registry.get(name)
+        topology = (
+            f"{spec.topology.num_nodes}x{spec.topology.num_channels}"
+            if not spec.network_sweep
+            else ", ".join(f"{n}x{m}" for n, m in spec.network_sweep)
+        )
+        rows.append([name, spec.schedule.mode, topology, spec.description])
+    return render_table(["scenario", "mode", "networks", "description"], rows)
+
+
+def _show_scenario_command(args) -> str:
+    return json.dumps(get_scenario(args.scenario).to_dict(), indent=2)
 
 
 def _run_fig6(args) -> str:
-    config = Fig6Config.paper() if args.paper else Fig6Config.quick()
-    config = _replace(config, seed=args.seed)
+    config = Fig6Config.from_scenario(f"fig6-{_preset(args)}")
+    config = _override(config, seed=args.seed)
     return format_fig6(run_fig6(config))
 
 
 def _run_fig7(args) -> str:
-    config = Fig7Config.paper() if args.paper else Fig7Config.quick()
-    config = _replace(
+    config = Fig7Config.from_scenario(f"fig7-{_preset(args)}")
+    config = _override(
         config,
         seed=args.seed,
         num_rounds=args.rounds,
@@ -120,13 +245,13 @@ def _run_fig7(args) -> str:
 
 
 def _run_fig8(args) -> str:
-    config = Fig8Config.paper() if args.paper else Fig8Config.quick()
+    config = Fig8Config.from_scenario(f"fig8-{_preset(args)}")
     periods = None
     if args.periods is not None:
         periods = tuple(int(part) for part in args.periods.split(",") if part.strip())
         if not periods:
             raise SystemExit("--periods must list at least one integer")
-    config = _replace(
+    config = _override(
         config,
         seed=args.seed,
         num_periods=args.updates,
@@ -138,23 +263,29 @@ def _run_fig8(args) -> str:
 
 
 def _run_complexity(args) -> str:
-    config = ComplexityConfig.paper()
-    config = _replace(config, seed=args.seed)
+    config = ComplexityConfig.from_scenario(f"complexity-{_preset(args)}")
+    config = _override(config, seed=args.seed)
     return format_complexity(run_complexity(config))
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """Run one experiment sub-command and print its report."""
+    """Run one sub-command and print its report."""
     parser = build_parser()
     args = parser.parse_args(list(argv) if argv is not None else None)
     handlers = {
+        "run": _run_scenario_command,
+        "list": _list_scenarios_command,
+        "show": _show_scenario_command,
         "fig6": _run_fig6,
         "fig7": _run_fig7,
         "fig8": _run_fig8,
         "table2": lambda _args: format_table2(),
         "complexity": _run_complexity,
     }
-    output = handlers[args.command](args)
+    try:
+        output = handlers[args.command](args)
+    except SpecError as err:
+        raise SystemExit(f"repro: {err}") from None
     print(output)
     return 0
 

@@ -10,6 +10,11 @@ The paper claims, per strategy-decision round of the distributed scheme:
 ``run_complexity`` measures those quantities on a sweep of random networks
 and reports them side by side with the theoretical bounds, so the linear-in-
 neighbourhood (not linear-in-``N``) scaling is visible experimentally.
+
+This module is a thin adapter over the declarative scenario layer: the
+sweep lives in the ``complexity-paper``/``complexity-quick`` registry
+presets (protocol mode); :func:`run_complexity` delegates to
+:func:`repro.spec.runner.run_scenario` and repackages the per-cell records.
 """
 
 from __future__ import annotations
@@ -17,16 +22,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List
 
-import numpy as np
-
-from repro.channels.catalog import assign_rates_to_network
-from repro.distributed.costs import theoretical_message_bound, theoretical_space_bound
-from repro.distributed.ptas import DistributedRobustPTAS
 from repro.experiments.config import ComplexityConfig
-from repro.experiments.reporting import render_table
-from repro.graph.extended import ExtendedConflictGraph
-from repro.graph.topology import random_network
-from repro.mwis.greedy import GreedyMWISSolver
+from repro.reporting import render_table
+from repro.spec.runner import run_scenario
 
 __all__ = ["ComplexityResult", "run_complexity", "format_complexity"]
 
@@ -46,47 +44,16 @@ class ComplexityResult:
 
 def run_complexity(config: ComplexityConfig = None) -> ComplexityResult:
     """Measure communication / space / computation costs of one round."""
-    config = config if config is not None else ComplexityConfig.paper()
-    rng = np.random.default_rng(config.seed)
+    config = (
+        config
+        if config is not None
+        else ComplexityConfig.from_scenario("complexity-paper")
+    )
+    envelope = run_scenario(config.to_spec())
     result = ComplexityResult(config=config)
     for num_nodes, num_channels in config.network_sizes:
         label = f"{num_nodes}x{num_channels}"
-        graph = random_network(
-            num_nodes,
-            num_channels,
-            average_degree=config.average_degree,
-            rng=rng,
-        )
-        extended = ExtendedConflictGraph(graph)
-        weights = assign_rates_to_network(num_nodes, num_channels, rng=rng).reshape(-1)
-        protocol = DistributedRobustPTAS(
-            extended.adjacency_sets(),
-            r=config.r,
-            local_solver=GreedyMWISSolver() if extended.num_vertices > 400 else None,
-        )
-        run = protocol.run(weights)
-        costs = run.costs
-        mini_rounds = run.num_mini_rounds
-        result.records[label] = {
-            "num_vertices": float(extended.num_vertices),
-            "average_degree": float(graph.average_degree()),
-            "mini_rounds": float(mini_rounds),
-            "max_messages_per_vertex": float(
-                costs.communication.max_messages_per_vertex
-            ),
-            "message_bound": float(
-                theoretical_message_bound(config.r, mini_rounds)
-            ),
-            "max_stored_weights": float(costs.max_stored_weights),
-            "space_bound": float(
-                theoretical_space_bound(costs.max_stored_weights)
-            ),
-            "max_local_instance": float(
-                costs.computation.max_candidate_set_size
-            ),
-            "local_mwis_calls": float(costs.computation.local_mwis_calls),
-            "winner_weight": float(run.independent_set.weight),
-        }
+        result.records[label] = dict(envelope.records[label])
     return result
 
 

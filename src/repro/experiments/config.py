@@ -1,17 +1,41 @@
-"""Experiment configurations.
+"""Experiment configurations (legacy shims over the scenario registry).
 
-Each configuration has a ``paper()`` constructor with the exact parameters of
-Section V and a ``quick()`` constructor with scaled-down parameters suitable
-for unit tests and benchmark runs on a laptop (the qualitative shape of every
-result is preserved; EXPERIMENTS.md records both).
+The declarative source of truth for every experiment setup is the scenario
+registry (:mod:`repro.spec.registry`): ``fig6-paper``, ``fig7-quick``,
+``fig8-paper``, ``complexity-quick``, ...  The dataclasses here remain as a
+thin, familiar facade: each one still carries the same fields as before, but
+``paper()``/``quick()`` are **deprecated shims** that rehydrate the
+corresponding registry preset, and ``to_spec()`` converts a config back into
+a :class:`~repro.spec.scenario.ScenarioSpec` for the unified runner.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Tuple
 
+from repro.spec.registry import get_scenario
+from repro.spec.scenario import (
+    ChannelSpec,
+    PolicySpec,
+    ReplicationSpec,
+    ScenarioSpec,
+    ScheduleSpec,
+    TopologySpec,
+)
+
 __all__ = ["Fig6Config", "Fig7Config", "Fig8Config", "ComplexityConfig"]
+
+
+def _deprecated(kind: str, scenario: str) -> None:
+    warnings.warn(
+        f"{kind} is deprecated; use "
+        f"repro.spec.get_scenario({scenario!r}) (or `repro run {scenario}`) "
+        "instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 @dataclass(frozen=True)
@@ -36,18 +60,51 @@ class Fig6Config:
     seed: int = 2014
 
     @classmethod
+    def from_scenario(cls, name: str) -> "Fig6Config":
+        """Rehydrate a config from a registered protocol scenario."""
+        return cls.from_spec(get_scenario(name))
+
+    @classmethod
+    def from_spec(cls, spec: ScenarioSpec) -> "Fig6Config":
+        """Extract the legacy config fields from a protocol scenario spec."""
+        return cls(
+            network_sizes=spec.network_sweep,
+            r=spec.policies[0].r,
+            max_mini_rounds=spec.schedule.max_mini_rounds,
+            average_degree=spec.topology.average_degree,
+            seed=spec.seed,
+        )
+
+    def to_spec(self, name: str = "fig6-custom") -> ScenarioSpec:
+        """The equivalent declarative scenario (protocol mode)."""
+        return ScenarioSpec(
+            name=name,
+            seed=self.seed,
+            topology=TopologySpec(
+                kind="random",
+                num_nodes=self.network_sizes[0][0],
+                num_channels=self.network_sizes[0][1],
+                average_degree=self.average_degree,
+            ),
+            channels=ChannelSpec(),
+            policies=(PolicySpec(kind="algorithm2", r=self.r),),
+            schedule=ScheduleSpec(
+                mode="protocol", max_mini_rounds=self.max_mini_rounds
+            ),
+            network_sweep=tuple(self.network_sizes),
+        )
+
+    @classmethod
     def paper(cls) -> "Fig6Config":
-        """The exact Section V-A setup."""
-        return cls()
+        """Deprecated: the ``fig6-paper`` registry scenario."""
+        _deprecated("Fig6Config.paper()", "fig6-paper")
+        return cls.from_scenario("fig6-paper")
 
     @classmethod
     def quick(cls) -> "Fig6Config":
-        """Scaled-down variant for tests and benchmarks."""
-        return cls(
-            network_sizes=((20, 3), (40, 3), (20, 5)),
-            r=1,
-            max_mini_rounds=8,
-        )
+        """Deprecated: the ``fig6-quick`` registry scenario."""
+        _deprecated("Fig6Config.quick()", "fig6-quick")
+        return cls.from_scenario("fig6-quick")
 
 
 @dataclass(frozen=True)
@@ -72,14 +129,60 @@ class Fig7Config:
     jobs: int = 1
 
     @classmethod
+    def from_scenario(cls, name: str) -> "Fig7Config":
+        """Rehydrate a config from a registered per-round scenario."""
+        return cls.from_spec(get_scenario(name))
+
+    @classmethod
+    def from_spec(cls, spec: ScenarioSpec) -> "Fig7Config":
+        """Extract the legacy config fields from a per-round scenario spec."""
+        return cls(
+            num_nodes=spec.topology.num_nodes,
+            num_channels=spec.topology.num_channels,
+            num_rounds=spec.schedule.num_rounds,
+            r=spec.policies[0].r,
+            alpha=spec.alpha,
+            average_degree=spec.topology.average_degree,
+            seed=spec.seed,
+            replications=spec.replication.replications,
+            jobs=spec.replication.jobs,
+        )
+
+    def to_spec(self, name: str = "fig7-custom") -> ScenarioSpec:
+        """The equivalent declarative scenario (per-round mode)."""
+        return ScenarioSpec(
+            name=name,
+            seed=self.seed,
+            topology=TopologySpec(
+                kind="connected-random",
+                num_nodes=self.num_nodes,
+                num_channels=self.num_channels,
+                average_degree=self.average_degree,
+            ),
+            channels=ChannelSpec(),
+            policies=(
+                PolicySpec(kind="algorithm2", r=self.r),
+                PolicySpec(kind="llr", r=self.r),
+            ),
+            schedule=ScheduleSpec(mode="per-round", num_rounds=self.num_rounds),
+            replication=ReplicationSpec(
+                replications=self.replications, jobs=self.jobs
+            ),
+            alpha=self.alpha,
+            compute_optimal=True,
+        )
+
+    @classmethod
     def paper(cls) -> "Fig7Config":
-        """The Section V-B setup (15 users, 3 channels, 1000 slots)."""
-        return cls()
+        """Deprecated: the ``fig7-paper`` registry scenario."""
+        _deprecated("Fig7Config.paper()", "fig7-paper")
+        return cls.from_scenario("fig7-paper")
 
     @classmethod
     def quick(cls) -> "Fig7Config":
-        """Scaled-down variant for tests and benchmarks."""
-        return cls(num_nodes=8, num_channels=3, num_rounds=120, r=1)
+        """Deprecated: the ``fig7-quick`` registry scenario."""
+        _deprecated("Fig7Config.quick()", "fig7-quick")
+        return cls.from_scenario("fig7-quick")
 
 
 @dataclass(frozen=True)
@@ -102,20 +205,62 @@ class Fig8Config:
     jobs: int = 1
 
     @classmethod
+    def from_scenario(cls, name: str) -> "Fig8Config":
+        """Rehydrate a config from a registered periodic scenario."""
+        return cls.from_spec(get_scenario(name))
+
+    @classmethod
+    def from_spec(cls, spec: ScenarioSpec) -> "Fig8Config":
+        """Extract the legacy config fields from a periodic scenario spec."""
+        return cls(
+            num_nodes=spec.topology.num_nodes,
+            num_channels=spec.topology.num_channels,
+            periods=spec.schedule.periods,
+            num_periods=spec.schedule.num_periods,
+            r=spec.policies[0].r,
+            average_degree=spec.topology.average_degree,
+            seed=spec.seed,
+            replications=spec.replication.replications,
+            jobs=spec.replication.jobs,
+        )
+
+    def to_spec(self, name: str = "fig8-custom") -> ScenarioSpec:
+        """The equivalent declarative scenario (periodic mode)."""
+        return ScenarioSpec(
+            name=name,
+            seed=self.seed,
+            topology=TopologySpec(
+                kind="random",
+                num_nodes=self.num_nodes,
+                num_channels=self.num_channels,
+                average_degree=self.average_degree,
+            ),
+            channels=ChannelSpec(),
+            policies=(
+                PolicySpec(kind="algorithm2", r=self.r),
+                PolicySpec(kind="llr", r=self.r),
+            ),
+            schedule=ScheduleSpec(
+                mode="periodic",
+                periods=tuple(self.periods),
+                num_periods=self.num_periods,
+            ),
+            replication=ReplicationSpec(
+                replications=self.replications, jobs=self.jobs
+            ),
+        )
+
+    @classmethod
     def paper(cls) -> "Fig8Config":
-        """The Section V-C setup (100 users, 10 channels, 1000 updates)."""
-        return cls()
+        """Deprecated: the ``fig8-paper`` registry scenario."""
+        _deprecated("Fig8Config.paper()", "fig8-paper")
+        return cls.from_scenario("fig8-paper")
 
     @classmethod
     def quick(cls) -> "Fig8Config":
-        """Scaled-down variant for tests and benchmarks."""
-        return cls(
-            num_nodes=20,
-            num_channels=4,
-            periods=(1, 5),
-            num_periods=40,
-            r=1,
-        )
+        """Deprecated: the ``fig8-quick`` registry scenario."""
+        _deprecated("Fig8Config.quick()", "fig8-quick")
+        return cls.from_scenario("fig8-quick")
 
 
 @dataclass(frozen=True)
@@ -128,11 +273,45 @@ class ComplexityConfig:
     seed: int = 2014
 
     @classmethod
+    def from_scenario(cls, name: str) -> "ComplexityConfig":
+        """Rehydrate a config from a registered protocol scenario."""
+        return cls.from_spec(get_scenario(name))
+
+    @classmethod
+    def from_spec(cls, spec: ScenarioSpec) -> "ComplexityConfig":
+        """Extract the legacy config fields from a protocol scenario spec."""
+        return cls(
+            network_sizes=spec.network_sweep,
+            r=spec.policies[0].r,
+            average_degree=spec.topology.average_degree,
+            seed=spec.seed,
+        )
+
+    def to_spec(self, name: str = "complexity-custom") -> ScenarioSpec:
+        """The equivalent declarative scenario (protocol mode)."""
+        return ScenarioSpec(
+            name=name,
+            seed=self.seed,
+            topology=TopologySpec(
+                kind="random",
+                num_nodes=self.network_sizes[0][0],
+                num_channels=self.network_sizes[0][1],
+                average_degree=self.average_degree,
+            ),
+            channels=ChannelSpec(),
+            policies=(PolicySpec(kind="algorithm2", r=self.r),),
+            schedule=ScheduleSpec(mode="protocol", max_mini_rounds=0),
+            network_sweep=tuple(self.network_sizes),
+        )
+
+    @classmethod
     def paper(cls) -> "ComplexityConfig":
-        """Default sweep over growing networks."""
-        return cls()
+        """Deprecated: the ``complexity-paper`` registry scenario."""
+        _deprecated("ComplexityConfig.paper()", "complexity-paper")
+        return cls.from_scenario("complexity-paper")
 
     @classmethod
     def quick(cls) -> "ComplexityConfig":
-        """Scaled-down variant for tests and benchmarks."""
-        return cls(network_sizes=((10, 3), (20, 3)), r=1)
+        """Deprecated: the ``complexity-quick`` registry scenario."""
+        _deprecated("ComplexityConfig.quick()", "complexity-quick")
+        return cls.from_scenario("complexity-quick")

@@ -7,10 +7,11 @@ after a small constant number of mini-rounds ("every line converges to a fixed
 value after the 4th mini-round"), so truncating the protocol at ``D << N``
 mini-rounds loses almost nothing.
 
-``run_fig6`` reproduces the experiment: for each network size it builds a
-random unit-disk network, draws per-vertex weights from the paper's channel
-catalogue, runs Algorithm 3 and records the cumulative Winner weight after
-every mini-round.
+This module is a thin adapter over the declarative scenario layer: the
+sweep lives in the ``fig6-paper``/``fig6-quick`` registry presets (protocol
+mode, :mod:`repro.spec.registry`); :func:`run_fig6` converts its config to a
+spec, delegates to :func:`repro.spec.runner.run_scenario` and repackages the
+``weight[NxM]`` series as the familiar :class:`Fig6Result`.
 """
 
 from __future__ import annotations
@@ -18,15 +19,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List
 
-import numpy as np
-
-from repro.channels.catalog import assign_rates_to_network
-from repro.distributed.ptas import DistributedRobustPTAS
 from repro.experiments.config import Fig6Config
-from repro.experiments.reporting import render_table
-from repro.graph.extended import ExtendedConflictGraph
-from repro.graph.topology import random_network
-from repro.mwis.greedy import GreedyMWISSolver
+from repro.reporting import render_table
+from repro.spec.runner import run_scenario
 
 __all__ = ["Fig6Result", "run_fig6", "format_fig6"]
 
@@ -47,50 +42,19 @@ class Fig6Result:
         return list(self.trajectories)
 
 
-def _pad_trajectory(values: List[float], length: int) -> List[float]:
-    """Pad a trajectory with its last value (converged weight) to ``length``."""
-    if not values:
-        return [0.0] * length
-    padded = list(values[:length])
-    while len(padded) < length:
-        padded.append(padded[-1])
-    return padded
-
-
 def run_fig6(config: Fig6Config = None) -> Fig6Result:
-    """Run the Fig. 6 convergence experiment."""
-    config = config if config is not None else Fig6Config.paper()
-    rng = np.random.default_rng(config.seed)
+    """Run the Fig. 6 convergence experiment (adapter over ``run_scenario``)."""
+    config = (
+        config if config is not None else Fig6Config.from_scenario("fig6-paper")
+    )
+    envelope = run_scenario(config.to_spec())
     result = Fig6Result(config=config)
     for num_nodes, num_channels in config.network_sizes:
         label = f"{num_nodes}x{num_channels}"
-        graph = random_network(
-            num_nodes,
-            num_channels,
-            average_degree=config.average_degree,
-            rng=rng,
+        result.trajectories[label] = list(envelope.series[f"weight[{label}]"])
+        result.convergence_round[label] = int(
+            envelope.records[label]["convergence_round"]
         )
-        extended = ExtendedConflictGraph(graph)
-        weights = assign_rates_to_network(num_nodes, num_channels, rng=rng).reshape(-1)
-        protocol = DistributedRobustPTAS(
-            extended.adjacency_sets(),
-            r=config.r,
-            # The figure runs the protocol to convergence to show where the
-            # trajectory flattens; large instances use the greedy local solver
-            # (the paper's "more efficient constant approximation" option).
-            local_solver=GreedyMWISSolver() if extended.num_vertices > 400 else None,
-        )
-        protocol_result = protocol.run(weights)
-        trajectory = _pad_trajectory(
-            protocol_result.weight_trajectory(), config.max_mini_rounds
-        )
-        result.trajectories[label] = trajectory
-        final_weight = trajectory[-1]
-        convergence = next(
-            (index + 1 for index, value in enumerate(trajectory) if value >= final_weight),
-            config.max_mini_rounds,
-        )
-        result.convergence_round[label] = convergence
     return result
 
 

@@ -18,12 +18,12 @@ Two per-round quantities are reported, matching the two sub-figures:
 The paper does not state its numeric ``beta``; we expose ``alpha`` in the
 configuration (default 4) and record the mapping in EXPERIMENTS.md.
 
-Simulation randomness is streamed per replication with
-``SeedSequence(seed).spawn`` (both policies see the same streams — common
-random numbers), so single-replication curves are *not* numerically
-identical to pre-batch versions of this experiment that consumed one
-``default_rng(seed)`` stream across both policies; the qualitative results
-are unchanged.
+This module is a thin adapter over the declarative scenario layer: the
+setup lives in the ``fig7-paper``/``fig7-quick`` registry presets
+(:mod:`repro.spec.registry`), :func:`run_fig7` converts its config to a
+:class:`~repro.spec.scenario.ScenarioSpec` and delegates to
+:func:`repro.spec.runner.run_scenario`, then repackages the envelope as the
+familiar :class:`Fig7Result`.
 """
 
 from __future__ import annotations
@@ -33,15 +33,12 @@ from typing import Dict, List
 
 import numpy as np
 
-from repro.api import ChannelAccessSystem
-from repro.channels.state import ChannelState
-from repro.core.bounds import theorem1_regret_bound
 from repro.experiments.config import Fig7Config
-from repro.experiments.reporting import render_series, render_table
-from repro.graph.topology import connected_random_network
+from repro.reporting import render_series, render_table
 from repro.sim.batch import BatchResult
 from repro.sim.metrics import tail_mean
 from repro.sim.results import SimulationResult
+from repro.spec.runner import run_scenario
 
 __all__ = ["Fig7Result", "run_fig7", "format_fig7"]
 
@@ -83,53 +80,30 @@ class Fig7Result:
 
 
 def run_fig7(config: Fig7Config = None) -> Fig7Result:
-    """Run the Fig. 7 regret experiment."""
-    config = config if config is not None else Fig7Config.paper()
-    rng = np.random.default_rng(config.seed)
-    graph = connected_random_network(
-        config.num_nodes,
-        config.num_channels,
-        average_degree=config.average_degree,
-        rng=rng,
+    """Run the Fig. 7 regret experiment (adapter over ``run_scenario``)."""
+    config = (
+        config if config is not None else Fig7Config.from_scenario("fig7-paper")
     )
-    channels = ChannelState.random_paper_rates(
-        config.num_nodes, config.num_channels, rng=rng
+    spec = config.to_spec()
+    envelope = run_scenario(spec)
+    result = Fig7Result(
+        config=config,
+        optimal_value=envelope.summary["optimal_value"],
+        theta=envelope.summary["theta"],
+        theorem1_bound=envelope.summary["theorem1_bound"],
     )
-    system = ChannelAccessSystem(graph, channels, seed=config.seed)
-    optimal_value = system.optimal_value()
-    theta = system.timing.theta
-    result = Fig7Result(config=config, optimal_value=optimal_value, theta=theta)
-
-    # Both learners use the same distributed strategy-decision engine (same
-    # radius r) so the comparison isolates the learning index, as in the
-    # paper; with replications > 1 both also share the same spawned random
-    # streams (common random numbers), so the curves are directly comparable.
-    policy_factories = {
-        "Algorithm2": lambda index: system.paper_policy(r=config.r),
-        "LLR": lambda index: system.llr_policy(r=config.r),
-    }
-    benchmark = theta * optimal_value / config.alpha
-    for name, factory in policy_factories.items():
-        batch = system.simulate_batch(
-            factory,
-            num_rounds=config.num_rounds,
-            replications=config.replications,
-            jobs=config.jobs,
-            optimal_value=optimal_value,
+    batches = envelope.artifacts["batches"]
+    for policy_spec in spec.policies:
+        name = policy_spec.display_label
+        result.practical_regret[name] = np.asarray(
+            envelope.series[f"practical_regret[{name}]"]
         )
-        expected = batch.mean_expected_rewards()
-        effective = theta * expected
-        result.practical_regret[name] = optimal_value - effective
-        result.beta_regret[name] = benchmark - effective
-        result.cumulative_practical_regret[name] = np.cumsum(optimal_value - effective)
-        result.simulations[name] = batch.results[0]
-        result.batches[name] = batch
-    result.theorem1_bound = theorem1_regret_bound(
-        horizon=config.num_rounds,
-        num_nodes=config.num_nodes,
-        num_arms=config.num_nodes * config.num_channels,
-        beta=config.alpha,
-    )
+        result.beta_regret[name] = np.asarray(envelope.series[f"beta_regret[{name}]"])
+        result.cumulative_practical_regret[name] = np.asarray(
+            envelope.series[f"cumulative_practical_regret[{name}]"]
+        )
+        result.simulations[name] = batches[name].results[0]
+        result.batches[name] = batches[name]
     return result
 
 

@@ -18,24 +18,28 @@ experiment must reproduce:
 2. the gap between estimated and actual throughput is small for the paper's
    policy and large for LLR (whose exploration index heavily over-estimates);
 3. the actual throughput of the paper's policy is at least as good as LLR's.
+
+This module is a thin adapter over the declarative scenario layer
+(``fig8-paper``/``fig8-quick`` presets, :func:`repro.spec.runner.run_scenario`).
+Note the intentional randomness change that came with the spec redesign:
+every simulation run now consumes its own stream spawned from the system
+seed, and within one replication both policies replay the *same* stream
+(common random numbers) instead of continuing one shared mutable generator,
+so traces are not bitwise comparable with pre-spec versions (the qualitative
+observations above are unchanged).
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
 import numpy as np
 
-from repro.api import ChannelAccessSystem
-from repro.channels.state import ChannelState
 from repro.experiments.config import Fig8Config
-from repro.experiments.reporting import render_table
-from repro.graph.topology import random_network
-from repro.mwis.greedy import GreedyMWISSolver
+from repro.reporting import render_table
 from repro.sim.periodic import PeriodicResult
-from repro.sim.timing import TimingConfig
+from repro.spec.runner import run_scenario
 
 __all__ = ["Fig8Result", "run_fig8", "format_fig8"]
 
@@ -81,100 +85,26 @@ class Fig8Result:
 
 
 def run_fig8(config: Fig8Config = None) -> Fig8Result:
-    """Run the Fig. 8 periodic-update experiment."""
-    config = config if config is not None else Fig8Config.paper()
-    rng = np.random.default_rng(config.seed)
-    graph = random_network(
-        config.num_nodes,
-        config.num_channels,
-        average_degree=config.average_degree,
-        rng=rng,
+    """Run the Fig. 8 periodic-update experiment (adapter over ``run_scenario``)."""
+    config = (
+        config if config is not None else Fig8Config.from_scenario("fig8-paper")
     )
-    channels = ChannelState.random_paper_rates(
-        config.num_nodes, config.num_channels, rng=rng
-    )
+    spec = config.to_spec()
+    envelope = run_scenario(spec)
     result = Fig8Result(config=config)
-    if config.replications > 1 and channels.has_stateful_models:
-        raise ValueError(
-            "averaging over replications requires i.i.d. channel models; "
-            "stateful models would couple the replications"
-        )
-    timing = TimingConfig.paper_defaults()
-    # Large extended graphs use the greedy local solver inside the protocol
-    # (the paper's constant-approximation substitution); small ones keep
-    # exact enumeration.
-    use_greedy = graph.num_nodes * graph.num_channels > 400
+    runs_by_cell = envelope.artifacts["periodic_runs"]
     for period in config.periods:
-        result.period_efficiency[period] = timing.period_efficiency(period)
-        replication_seeds = _replication_seeds(
-            config.seed + period, config.replications
-        )
-
-        def run_replication(seed: int) -> Dict[str, PeriodicResult]:
-            system = ChannelAccessSystem(graph, channels, seed=seed)
-            local_solver = GreedyMWISSolver() if use_greedy else None
-            policies = {
-                "Algorithm2": system.paper_policy(
-                    solver=system.distributed_solver(r=config.r)
-                    if not use_greedy
-                    else _greedy_distributed_solver(system, config.r, local_solver)
-                ),
-                "LLR": system.llr_policy(
-                    solver=system.distributed_solver(r=config.r)
-                    if not use_greedy
-                    else _greedy_distributed_solver(system, config.r, local_solver)
-                ),
-            }
-            return {
-                name: system.simulate_periodic(
-                    policy, num_periods=config.num_periods, period_slots=period
-                )
-                for name, policy in policies.items()
-            }
-
-        if config.jobs == 1 or config.replications == 1:
-            replication_runs = [run_replication(seed) for seed in replication_seeds]
-        else:
-            workers = min(config.jobs, config.replications)
-            with ThreadPoolExecutor(max_workers=workers) as pool:
-                replication_runs = list(pool.map(run_replication, replication_seeds))
-        for name in replication_runs[0]:
-            runs = [replication[name] for replication in replication_runs]
-            result.runs[(period, name)] = runs[0]
-            result.actual[(period, name)] = np.mean(
-                [run.average_actual_trace() for run in runs], axis=0
+        result.period_efficiency[period] = envelope.records[f"y={period}"]["efficiency"]
+        for policy_spec in spec.policies:
+            name = policy_spec.display_label
+            result.runs[(period, name)] = runs_by_cell[(period, name)][0]
+            result.actual[(period, name)] = np.asarray(
+                envelope.series[f"actual[{name}][y={period}]"]
             )
-            result.estimated[(period, name)] = np.mean(
-                [run.average_estimated_trace() for run in runs], axis=0
+            result.estimated[(period, name)] = np.asarray(
+                envelope.series[f"estimated[{name}][y={period}]"]
             )
     return result
-
-
-def _replication_seeds(root_seed: int, replications: int) -> List[object]:
-    """Seeds for the replications of one experiment cell.
-
-    A single replication keeps the historical ``root_seed`` (so single-run
-    seeding matches earlier versions of this experiment); multiple
-    replications get ``SeedSequence.spawn`` children rooted at the same
-    seed — the same stream-derivation scheme as
-    :func:`repro.sim.batch.replication_rngs`.  Either form is a valid
-    ``ChannelAccessSystem`` seed (``numpy.random.default_rng`` accepts
-    both).
-    """
-    if replications <= 0:
-        raise ValueError(f"replications must be positive, got {replications}")
-    if replications == 1:
-        return [root_seed]
-    return list(np.random.SeedSequence(root_seed).spawn(replications))
-
-
-def _greedy_distributed_solver(system: ChannelAccessSystem, r: int, local_solver):
-    """Distributed solver variant with a greedy local MWIS (for big networks)."""
-    from repro.distributed.framework import DistributedMWISSolver
-
-    return DistributedMWISSolver(
-        system.extended_graph, r=r, local_solver=local_solver
-    )
 
 
 def format_fig8(result: Fig8Result) -> str:

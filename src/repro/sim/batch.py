@@ -29,11 +29,46 @@ from repro.sim.engine import Simulator
 from repro.sim.results import SimulationResult
 from repro.sim.timing import TimingConfig
 
-__all__ = ["BatchResult", "BatchSimulator", "replication_rngs"]
+__all__ = [
+    "BatchResult",
+    "BatchSimulator",
+    "child_seed_sequences",
+    "replication_rngs",
+]
 
 #: Builds the policy of one replication; receives the replication index so
 #: stochastic policies can derive per-replication generators from it.
 PolicyFactory = Callable[[int], Policy]
+
+
+def child_seed_sequences(
+    seed, count: int, first: int = 0
+) -> List[np.random.SeedSequence]:
+    """Children ``first .. first + count - 1`` of a root seed, without mutation.
+
+    Equivalent to ``np.random.SeedSequence(seed).spawn(...)`` but derived
+    from the root's ``(entropy, spawn_key)`` directly, so a caller-owned
+    ``SeedSequence`` passed as ``seed`` is accepted as-is and never has its
+    spawn counter advanced.  Child ``i`` is always the same stream no matter
+    how often or in what order children are requested.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if first < 0:
+        raise ValueError(f"first must be non-negative, got {first}")
+    root = (
+        seed
+        if isinstance(seed, np.random.SeedSequence)
+        else np.random.SeedSequence(seed)
+    )
+    return [
+        np.random.SeedSequence(
+            entropy=root.entropy,
+            spawn_key=(*root.spawn_key, first + index),
+            pool_size=root.pool_size,
+        )
+        for index in range(count)
+    ]
 
 
 def replication_rngs(
@@ -44,16 +79,19 @@ def replication_rngs(
     Streams are spawned from ``np.random.SeedSequence(seed)``, so replication
     ``i`` always sees the same stream regardless of the total replication
     count or of how replications are spread over jobs.  :class:`BatchSimulator`
-    consumes exactly these streams, which makes a single replication
-    reproducible with the sequential simulator::
+    consumes exactly these streams — and so does each successive
+    :meth:`repro.api.ChannelAccessSystem.simulate` call — which makes a
+    single replication reproducible with the sequential simulator::
 
         rng = replication_rngs(seed, replications=1)[0]
         trace = Simulator(graph, channels, rng=rng).run(policy, n)
     """
     if replications <= 0:
         raise ValueError(f"replications must be positive, got {replications}")
-    root = np.random.SeedSequence(seed)
-    return [np.random.default_rng(child) for child in root.spawn(replications)]
+    return [
+        np.random.default_rng(child)
+        for child in child_seed_sequences(seed, replications)
+    ]
 
 
 @dataclass

@@ -1,0 +1,56 @@
+"""Declarative experiment layer: scenario specs, registry and runner.
+
+* :mod:`repro.spec.scenario` -- the frozen, JSON-serializable
+  :class:`ScenarioSpec` tree (topology / channels / policies / schedule /
+  replication) with validation and ``build()``.
+* :mod:`repro.spec.runner` -- :func:`run_scenario` producing the uniform
+  :class:`ExperimentResult` envelope, and its stable JSON schema.
+* :mod:`repro.spec.registry` -- named presets of the paper's setups plus
+  user registration.
+* :mod:`repro.spec.overrides` -- dotted-path ``--set key=value`` overrides.
+"""
+
+from repro.spec.overrides import apply_overrides, parse_set_items
+from repro.spec.registry import (
+    ScenarioRegistry,
+    default_registry,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+)
+from repro.spec.runner import (
+    RESULT_SCHEMA,
+    ExperimentResult,
+    format_result,
+    run_scenario,
+)
+from repro.spec.scenario import (
+    ChannelSpec,
+    PolicySpec,
+    ReplicationSpec,
+    ScenarioSpec,
+    ScheduleSpec,
+    SpecError,
+    TopologySpec,
+)
+
+__all__ = [
+    "SpecError",
+    "TopologySpec",
+    "ChannelSpec",
+    "PolicySpec",
+    "ScheduleSpec",
+    "ReplicationSpec",
+    "ScenarioSpec",
+    "ScenarioRegistry",
+    "default_registry",
+    "get_scenario",
+    "list_scenarios",
+    "register_scenario",
+    "ExperimentResult",
+    "RESULT_SCHEMA",
+    "run_scenario",
+    "format_result",
+    "apply_overrides",
+    "parse_set_items",
+]

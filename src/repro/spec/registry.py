@@ -1,0 +1,273 @@
+"""Named scenario registry.
+
+The paper's evaluation setups ship as built-in presets (``fig6-paper``,
+``fig7-quick``, ``fig8-paper``, ``complexity-quick``, ...); user code can
+register additional scenarios next to them::
+
+    from repro.spec import ScenarioSpec, register_scenario, get_scenario
+
+    register_scenario(ScenarioSpec(name="my-ring", ...))
+    result = get_scenario("my-ring").run()
+
+Registered names drive the ``repro run <scenario>`` / ``repro list`` /
+``repro show <scenario>`` CLI.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.spec.scenario import (
+    ChannelSpec,
+    PolicySpec,
+    ReplicationSpec,
+    ScenarioSpec,
+    ScheduleSpec,
+    SpecError,
+    TopologySpec,
+)
+
+__all__ = [
+    "ScenarioRegistry",
+    "register_scenario",
+    "get_scenario",
+    "list_scenarios",
+    "default_registry",
+]
+
+
+class ScenarioRegistry:
+    """A name -> :class:`ScenarioSpec` mapping with helpful failure modes."""
+
+    def __init__(self) -> None:
+        self._scenarios: Dict[str, ScenarioSpec] = {}
+
+    def register(
+        self, spec: ScenarioSpec, *, name: Optional[str] = None, overwrite: bool = False
+    ) -> ScenarioSpec:
+        """Register ``spec`` under ``name`` (default: ``spec.name``).
+
+        Re-registering an existing name raises unless ``overwrite=True``,
+        so presets cannot be shadowed by accident.  Returns the registered
+        spec (renamed when ``name`` differs from ``spec.name``).
+        """
+        if not isinstance(spec, ScenarioSpec):
+            raise SpecError(
+                f"registry: expected a ScenarioSpec, got {type(spec).__name__}"
+            )
+        key = name if name is not None else spec.name
+        if not key:
+            raise SpecError("registry: a scenario needs a non-empty name")
+        if key in self._scenarios and not overwrite:
+            raise SpecError(
+                f"registry: scenario {key!r} is already registered; pass "
+                "overwrite=True to replace it"
+            )
+        if spec.name != key:
+            from dataclasses import replace
+
+            spec = replace(spec, name=key)
+        self._scenarios[key] = spec
+        return spec
+
+    def get(self, name: str) -> ScenarioSpec:
+        """Look up a scenario, listing the known names on a miss."""
+        try:
+            return self._scenarios[name]
+        except KeyError:
+            known = ", ".join(sorted(self._scenarios)) or "<none>"
+            raise SpecError(
+                f"unknown scenario {name!r}; registered scenarios: {known}"
+            ) from None
+
+    def names(self) -> List[str]:
+        """Registered scenario names, sorted."""
+        return sorted(self._scenarios)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._scenarios
+
+    def __len__(self) -> int:
+        return len(self._scenarios)
+
+
+# ----------------------------------------------------------------------
+# Built-in presets: the paper's evaluation setups
+# ----------------------------------------------------------------------
+def _fig6_spec(name: str, *, sizes, r: int, max_mini_rounds: int, scale: str) -> ScenarioSpec:
+    return ScenarioSpec(
+        name=name,
+        description=f"Fig. 6 strategy-decision convergence ({scale} scale)",
+        seed=2014,
+        topology=TopologySpec(
+            kind="random",
+            num_nodes=sizes[0][0],
+            num_channels=sizes[0][1],
+            average_degree=6.0,
+        ),
+        channels=ChannelSpec(),
+        policies=(PolicySpec(kind="algorithm2", r=r),),
+        schedule=ScheduleSpec(mode="protocol", max_mini_rounds=max_mini_rounds),
+        network_sweep=tuple(sizes),
+    )
+
+
+def _fig7_spec(
+    name: str,
+    *,
+    num_nodes: int,
+    num_channels: int,
+    num_rounds: int,
+    r: int,
+    scale: str,
+) -> ScenarioSpec:
+    return ScenarioSpec(
+        name=name,
+        description=f"Fig. 7 practical regret vs. LLR ({scale} scale)",
+        seed=2014,
+        topology=TopologySpec(
+            kind="connected-random",
+            num_nodes=num_nodes,
+            num_channels=num_channels,
+            average_degree=4.0,
+        ),
+        channels=ChannelSpec(),
+        policies=(PolicySpec(kind="algorithm2", r=r), PolicySpec(kind="llr", r=r)),
+        schedule=ScheduleSpec(mode="per-round", num_rounds=num_rounds),
+        replication=ReplicationSpec(),
+        alpha=4.0,
+        compute_optimal=True,
+    )
+
+
+def _fig8_spec(
+    name: str,
+    *,
+    num_nodes: int,
+    num_channels: int,
+    periods,
+    num_periods: int,
+    r: int,
+    scale: str,
+) -> ScenarioSpec:
+    return ScenarioSpec(
+        name=name,
+        description=f"Fig. 8 periodic-update throughput ({scale} scale)",
+        seed=2014,
+        topology=TopologySpec(
+            kind="random",
+            num_nodes=num_nodes,
+            num_channels=num_channels,
+            average_degree=6.0,
+        ),
+        channels=ChannelSpec(),
+        policies=(PolicySpec(kind="algorithm2", r=r), PolicySpec(kind="llr", r=r)),
+        schedule=ScheduleSpec(
+            mode="periodic", periods=tuple(periods), num_periods=num_periods
+        ),
+        replication=ReplicationSpec(),
+    )
+
+
+def _complexity_spec(name: str, *, sizes, r: int, scale: str) -> ScenarioSpec:
+    return ScenarioSpec(
+        name=name,
+        description=f"Section IV-C complexity measurements ({scale} scale)",
+        seed=2014,
+        topology=TopologySpec(
+            kind="random",
+            num_nodes=sizes[0][0],
+            num_channels=sizes[0][1],
+            average_degree=6.0,
+        ),
+        channels=ChannelSpec(),
+        policies=(PolicySpec(kind="algorithm2", r=r),),
+        schedule=ScheduleSpec(mode="protocol", max_mini_rounds=0),
+        network_sweep=tuple(sizes),
+    )
+
+
+def _builtin_scenarios() -> List[ScenarioSpec]:
+    return [
+        _fig6_spec(
+            "fig6-paper",
+            sizes=((50, 5), (100, 5), (200, 5), (50, 10), (100, 10), (200, 10)),
+            r=2,
+            max_mini_rounds=10,
+            scale="paper",
+        ),
+        _fig6_spec(
+            "fig6-quick",
+            sizes=((20, 3), (40, 3), (20, 5)),
+            r=1,
+            max_mini_rounds=8,
+            scale="quick",
+        ),
+        _fig7_spec(
+            "fig7-paper", num_nodes=15, num_channels=3, num_rounds=1000, r=2,
+            scale="paper",
+        ),
+        _fig7_spec(
+            "fig7-quick", num_nodes=8, num_channels=3, num_rounds=120, r=1,
+            scale="quick",
+        ),
+        _fig7_spec(
+            "fig7-smoke", num_nodes=6, num_channels=2, num_rounds=40, r=1,
+            scale="smoke: CI end-to-end",
+        ),
+        _fig8_spec(
+            "fig8-paper",
+            num_nodes=100,
+            num_channels=10,
+            periods=(1, 5, 10, 20),
+            num_periods=1000,
+            r=2,
+            scale="paper",
+        ),
+        _fig8_spec(
+            "fig8-quick",
+            num_nodes=20,
+            num_channels=4,
+            periods=(1, 5),
+            num_periods=40,
+            r=1,
+            scale="quick",
+        ),
+        _complexity_spec(
+            "complexity-paper",
+            sizes=((20, 3), (40, 3), (60, 3), (40, 5)),
+            r=2,
+            scale="paper",
+        ),
+        _complexity_spec(
+            "complexity-quick", sizes=((10, 3), (20, 3)), r=1, scale="quick"
+        ),
+    ]
+
+
+def default_registry() -> ScenarioRegistry:
+    """The process-wide registry, pre-populated with the paper presets."""
+    return _DEFAULT
+
+
+_DEFAULT = ScenarioRegistry()
+for _spec in _builtin_scenarios():
+    _DEFAULT.register(_spec)
+del _spec
+
+
+def register_scenario(
+    spec: ScenarioSpec, *, name: Optional[str] = None, overwrite: bool = False
+) -> ScenarioSpec:
+    """Register a scenario in the default registry."""
+    return _DEFAULT.register(spec, name=name, overwrite=overwrite)
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Fetch a scenario from the default registry by name."""
+    return _DEFAULT.get(name)
+
+
+def list_scenarios() -> List[str]:
+    """All names registered in the default registry, sorted."""
+    return _DEFAULT.names()

@@ -1,0 +1,432 @@
+"""Run a :class:`~repro.spec.scenario.ScenarioSpec` and package the outcome.
+
+Every scenario — per-round bandit run, periodic stale-weight run, or pure
+strategy-decision protocol run — produces the same
+:class:`ExperimentResult` envelope: the spec echo, per-replication series,
+replication-averaged series, per-cell scalar records, a scalar summary and
+the wall clock.  The envelope serializes to stable JSON
+(``repro.scenario-result/v1``) so benchmark trajectories, plotting layers
+and services all consume one schema.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping
+
+import numpy as np
+
+from repro.core.bounds import theorem1_regret_bound
+from repro.distributed.costs import theoretical_message_bound, theoretical_space_bound
+from repro.distributed.ptas import DistributedRobustPTAS
+from repro.graph.extended import ExtendedConflictGraph
+from repro.mwis.greedy import GreedyMWISSolver
+from repro.reporting import render_series, render_table
+from repro.sim.batch import child_seed_sequences
+from repro.sim.timing import TimingConfig
+from repro.spec.scenario import ScenarioSpec, SpecError
+
+__all__ = ["ExperimentResult", "run_scenario", "format_result", "RESULT_SCHEMA"]
+
+#: Schema identifier embedded in every serialized result.
+RESULT_SCHEMA = "repro.scenario-result/v1"
+
+
+@dataclass
+class ExperimentResult:
+    """Uniform envelope around one scenario run.
+
+    ``series`` holds replication-averaged traces keyed
+    ``metric[policy]`` (plus ``[y=period]`` for periodic scenarios and
+    ``[NxM]`` for protocol sweeps); ``replication_series`` holds the same
+    keys with one row per replication; ``records`` holds per-cell scalar
+    measurements (period efficiencies, protocol costs); ``summary`` holds
+    scenario-level scalars (theta, R_1, the Theorem-1 bound, ...).
+
+    ``artifacts`` carries the raw runtime objects (batches, periodic runs,
+    the materialized system) for in-process consumers; it is **not**
+    serialized.
+    """
+
+    scenario: str
+    mode: str
+    spec: Dict[str, object]
+    summary: Dict[str, float] = field(default_factory=dict)
+    series: Dict[str, List[float]] = field(default_factory=dict)
+    replication_series: Dict[str, List[List[float]]] = field(default_factory=dict)
+    records: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    wall_clock_s: float = 0.0
+    artifacts: Dict[str, object] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation (``artifacts`` excluded)."""
+        return {
+            "schema": RESULT_SCHEMA,
+            "scenario": self.scenario,
+            "mode": self.mode,
+            "spec": self.spec,
+            "summary": dict(self.summary),
+            "series": {k: list(v) for k, v in self.series.items()},
+            "replication_series": {
+                k: [list(row) for row in rows]
+                for k, rows in self.replication_series.items()
+            },
+            "records": {k: dict(v) for k, v in self.records.items()},
+            "wall_clock_s": self.wall_clock_s,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """Serialize to the stable ``repro.scenario-result/v1`` JSON schema."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data) -> "ExperimentResult":
+        """Strictly validate and load a serialized result envelope."""
+        if not isinstance(data, Mapping):
+            raise SpecError(
+                f"result: expected a JSON object, got {type(data).__name__}"
+            )
+        schema = data.get("schema")
+        if schema != RESULT_SCHEMA:
+            raise SpecError(
+                f"result.schema: expected {RESULT_SCHEMA!r}, got {schema!r}"
+            )
+        required = {
+            "schema",
+            "scenario",
+            "mode",
+            "spec",
+            "summary",
+            "series",
+            "replication_series",
+            "records",
+            "wall_clock_s",
+        }
+        missing = sorted(required - set(data))
+        if missing:
+            raise SpecError(f"result: missing field(s) {missing}")
+        unknown = sorted(set(data) - required)
+        if unknown:
+            raise SpecError(f"result: unknown field(s) {unknown}")
+        if not isinstance(data["scenario"], str) or not data["scenario"]:
+            raise SpecError("result.scenario: expected a non-empty string")
+        if not isinstance(data["mode"], str):
+            raise SpecError("result.mode: expected a string")
+        for key in ("summary", "series", "replication_series", "records", "spec"):
+            if not isinstance(data[key], Mapping):
+                raise SpecError(f"result.{key}: expected a JSON object")
+        for name, values in data["series"].items():
+            if not isinstance(values, list) or any(
+                not isinstance(v, (int, float)) or isinstance(v, bool) for v in values
+            ):
+                raise SpecError(
+                    f"result.series[{name!r}]: expected a list of numbers"
+                )
+        for name, rows in data["replication_series"].items():
+            if not isinstance(rows, list) or any(
+                not isinstance(row, list) for row in rows
+            ):
+                raise SpecError(
+                    f"result.replication_series[{name!r}]: expected a list of "
+                    "per-replication rows"
+                )
+        if not isinstance(data["wall_clock_s"], (int, float)):
+            raise SpecError("result.wall_clock_s: expected a number")
+        return cls(
+            scenario=data["scenario"],
+            mode=data["mode"],
+            spec=dict(data["spec"]),
+            summary=dict(data["summary"]),
+            series={k: list(v) for k, v in data["series"].items()},
+            replication_series={
+                k: [list(row) for row in rows]
+                for k, rows in data["replication_series"].items()
+            },
+            records={k: dict(v) for k, v in data["records"].items()},
+            wall_clock_s=float(data["wall_clock_s"]),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentResult":
+        """Inverse of :meth:`to_json` (strictly validated)."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as err:
+            raise SpecError(f"result: invalid JSON ({err})") from None
+        return cls.from_dict(data)
+
+    def spec_object(self) -> ScenarioSpec:
+        """Rehydrate the echoed spec as a :class:`ScenarioSpec`."""
+        return ScenarioSpec.from_dict(self.spec)
+
+
+# ----------------------------------------------------------------------
+# Runner
+# ----------------------------------------------------------------------
+def run_scenario(spec: ScenarioSpec) -> ExperimentResult:
+    """Run one scenario and return its :class:`ExperimentResult` envelope."""
+    spec.validate(spec.name)
+    started_at = time.perf_counter()
+    if spec.schedule.mode == "per-round":
+        result = _run_per_round(spec)
+    elif spec.schedule.mode == "periodic":
+        result = _run_periodic(spec)
+    elif spec.schedule.mode == "protocol":
+        result = _run_protocol(spec)
+    else:  # pragma: no cover - validate() rejects unknown modes
+        raise SpecError(f"{spec.name}: unhandled schedule mode {spec.schedule.mode!r}")
+    result.wall_clock_s = time.perf_counter() - started_at
+    return result
+
+
+def _run_per_round(spec: ScenarioSpec) -> ExperimentResult:
+    """Fig. 7 regime: per-slot decisions through ``simulate_batch``."""
+    system, factories = spec.build()
+    optimal_value = system.optimal_value() if spec.compute_optimal else None
+    theta = system.timing.theta
+    result = ExperimentResult(
+        scenario=spec.name, mode="per-round", spec=spec.to_dict()
+    )
+    result.summary["theta"] = float(theta)
+    result.summary["alpha"] = float(spec.alpha)
+    result.summary["replications"] = float(spec.replication.replications)
+    if optimal_value is not None:
+        result.summary["optimal_value"] = float(optimal_value)
+        result.summary["theorem1_bound"] = float(
+            theorem1_regret_bound(
+                horizon=spec.schedule.num_rounds,
+                num_nodes=system.conflict_graph.num_nodes,
+                num_arms=system.extended_graph.num_vertices,
+                beta=spec.alpha,
+            )
+        )
+    batches = {}
+    simulated_wall_clock = 0.0
+    for label, factory in factories.items():
+        batch = system.simulate_batch(
+            lambda index: factory(),
+            num_rounds=spec.schedule.num_rounds,
+            replications=spec.replication.replications,
+            jobs=spec.replication.jobs,
+            optimal_value=optimal_value,
+        )
+        batches[label] = batch
+        simulated_wall_clock += batch.total_wall_clock()
+        expected_matrix = batch.expected_reward_matrix()
+        result.replication_series[f"expected_reward[{label}]"] = [
+            row.tolist() for row in expected_matrix
+        ]
+        expected = expected_matrix.mean(axis=0)
+        effective = theta * expected
+        result.series[f"expected_reward[{label}]"] = expected.tolist()
+        result.series[f"effective_throughput[{label}]"] = effective.tolist()
+        if optimal_value is not None:
+            practical = optimal_value - effective
+            benchmark = theta * optimal_value / spec.alpha
+            result.series[f"practical_regret[{label}]"] = practical.tolist()
+            result.series[f"beta_regret[{label}]"] = (benchmark - effective).tolist()
+            result.series[f"cumulative_practical_regret[{label}]"] = np.cumsum(
+                practical
+            ).tolist()
+    result.summary["simulated_wall_clock_s"] = simulated_wall_clock
+    result.artifacts["system"] = system
+    result.artifacts["batches"] = batches
+    result.artifacts["optimal_value"] = optimal_value
+    return result
+
+
+def _replication_seeds(root_seed: int, replications: int) -> List[object]:
+    """System seeds for the replications of one periodic experiment cell.
+
+    A single replication uses the cell's ``root_seed`` directly (the system
+    then consumes child 0 of it); multiple replications get spawn children
+    of the same root — the stream-derivation scheme of
+    :func:`repro.sim.batch.child_seed_sequences`, so replication ``i`` sees
+    the same streams regardless of the replication count.
+    """
+    if replications == 1:
+        return [root_seed]
+    return list(child_seed_sequences(root_seed, replications))
+
+
+def _run_periodic(spec: ScenarioSpec) -> ExperimentResult:
+    """Fig. 8 regime: one decision per ``y``-slot period."""
+    from repro.api import ChannelAccessSystem
+
+    rng = np.random.default_rng(spec.seed)
+    graph = spec.topology.build(rng)
+    channels = spec.channels.build_state(graph.num_nodes, graph.num_channels, rng)
+    if spec.replication.replications > 1 and channels.has_stateful_models:
+        raise SpecError(
+            f"{spec.name}: averaging over replications requires i.i.d. channel "
+            "models; stateful models would couple the replications"
+        )
+    timing = TimingConfig.paper_defaults()
+    result = ExperimentResult(
+        scenario=spec.name, mode="periodic", spec=spec.to_dict()
+    )
+    result.summary["theta"] = float(timing.theta)
+    result.summary["replications"] = float(spec.replication.replications)
+    runs_by_cell: Dict[tuple, List[object]] = {}
+
+    for period in spec.schedule.periods:
+        result.records[f"y={period}"] = {
+            "period": float(period),
+            "efficiency": float(timing.period_efficiency(period)),
+        }
+        rep_seeds = _replication_seeds(
+            spec.seed + period, spec.replication.replications
+        )
+
+        def run_replication(seed):
+            # One fresh system per policy: every policy replays the same
+            # spawned channel stream (common random numbers), which makes
+            # the per-policy traces directly comparable.
+            runs = {}
+            for policy_spec in spec.policies:
+                system = ChannelAccessSystem(graph, channels, seed=seed)
+                policy = policy_spec.build(system)
+                runs[policy_spec.display_label] = system.simulate_periodic(
+                    policy,
+                    num_periods=spec.schedule.num_periods,
+                    period_slots=period,
+                )
+            return runs
+
+        jobs = spec.replication.jobs
+        if jobs == 1 or spec.replication.replications == 1:
+            replication_runs = [run_replication(seed) for seed in rep_seeds]
+        else:
+            from concurrent.futures import ThreadPoolExecutor
+
+            workers = min(jobs, spec.replication.replications)
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                replication_runs = list(pool.map(run_replication, rep_seeds))
+
+        for policy_spec in spec.policies:
+            label = policy_spec.display_label
+            runs = [replication[label] for replication in replication_runs]
+            runs_by_cell[(period, label)] = runs
+            actual_rows = [run.average_actual_trace() for run in runs]
+            estimated_rows = [run.average_estimated_trace() for run in runs]
+            result.replication_series[f"actual[{label}][y={period}]"] = [
+                row.tolist() for row in actual_rows
+            ]
+            result.replication_series[f"estimated[{label}][y={period}]"] = [
+                row.tolist() for row in estimated_rows
+            ]
+            result.series[f"actual[{label}][y={period}]"] = (
+                np.mean(actual_rows, axis=0).tolist()
+            )
+            result.series[f"estimated[{label}][y={period}]"] = (
+                np.mean(estimated_rows, axis=0).tolist()
+            )
+    result.artifacts["periodic_runs"] = runs_by_cell
+    return result
+
+
+def _pad_trajectory(values: List[float], length: int) -> List[float]:
+    """Pad a trajectory with its last value (converged weight) to ``length``."""
+    if not values:
+        return [0.0] * length
+    padded = list(values[:length])
+    while len(padded) < length:
+        padded.append(padded[-1])
+    return padded
+
+
+def _run_protocol(spec: ScenarioSpec) -> ExperimentResult:
+    """Fig. 6 / Section IV-C regime: run Algorithm 3 once per network cell."""
+    decision = spec.policies[0]
+    rng = np.random.default_rng(spec.seed)
+    result = ExperimentResult(
+        scenario=spec.name, mode="protocol", spec=spec.to_dict()
+    )
+    result.summary["r"] = float(decision.r)
+    cells = spec.network_sweep or (
+        (spec.topology.num_nodes, spec.topology.num_channels),
+    )
+    protocol_runs = {}
+    for num_nodes, num_channels in cells:
+        label = f"{num_nodes}x{num_channels}"
+        graph = spec.topology.with_size(num_nodes, num_channels).build(rng)
+        extended = ExtendedConflictGraph(graph)
+        weights = spec.channels.build_means(num_nodes, num_channels, rng).reshape(-1)
+        protocol = DistributedRobustPTAS(
+            extended.adjacency_sets(),
+            r=decision.r,
+            local_solver=GreedyMWISSolver()
+            if decision.use_greedy_local_solver(extended.num_vertices)
+            else None,
+        )
+        run = protocol.run(weights)
+        protocol_runs[label] = run
+        trajectory = list(run.weight_trajectory())
+        if spec.schedule.max_mini_rounds > 0:
+            trajectory = _pad_trajectory(trajectory, spec.schedule.max_mini_rounds)
+        result.series[f"weight[{label}]"] = [float(v) for v in trajectory]
+        result.replication_series[f"weight[{label}]"] = [
+            [float(v) for v in trajectory]
+        ]
+        costs = run.costs
+        mini_rounds = run.num_mini_rounds
+        final_weight = trajectory[-1] if trajectory else 0.0
+        convergence_round = next(
+            (
+                index + 1
+                for index, value in enumerate(trajectory)
+                if value >= final_weight
+            ),
+            len(trajectory),
+        )
+        result.records[label] = {
+            "num_vertices": float(extended.num_vertices),
+            "average_degree": float(graph.average_degree()),
+            "mini_rounds": float(mini_rounds),
+            "max_messages_per_vertex": float(
+                costs.communication.max_messages_per_vertex
+            ),
+            "message_bound": float(theoretical_message_bound(decision.r, mini_rounds)),
+            "max_stored_weights": float(costs.max_stored_weights),
+            "space_bound": float(theoretical_space_bound(costs.max_stored_weights)),
+            "max_local_instance": float(costs.computation.max_candidate_set_size),
+            "local_mwis_calls": float(costs.computation.local_mwis_calls),
+            "winner_weight": float(run.independent_set.weight),
+            "convergence_round": float(convergence_round),
+        }
+    result.artifacts["protocol_runs"] = protocol_runs
+    return result
+
+
+# ----------------------------------------------------------------------
+# Generic rendering
+# ----------------------------------------------------------------------
+def format_result(result: ExperimentResult) -> str:
+    """Render any :class:`ExperimentResult` as diffable text."""
+    blocks = [
+        f"scenario {result.scenario} ({result.mode}) — "
+        f"wall clock {result.wall_clock_s:.2f}s"
+    ]
+    if result.summary:
+        rows = [[key, float(value)] for key, value in result.summary.items()]
+        blocks.append(render_table(["summary", "value"], rows))
+    if result.records:
+        record_keys = sorted({key for rec in result.records.values() for key in rec})
+        headers = ["cell", *record_keys]
+        rows = [
+            [cell, *[record.get(key, float("nan")) for key in record_keys]]
+            for cell, record in result.records.items()
+        ]
+        blocks.append(render_table(headers, rows))
+    if result.series:
+        blocks.append(
+            "\n".join(
+                render_series(name, values) for name, values in result.series.items()
+            )
+        )
+    return "\n\n".join(blocks)

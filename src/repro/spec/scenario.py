@@ -1,0 +1,836 @@
+"""Declarative scenario specifications.
+
+A :class:`ScenarioSpec` is a frozen, JSON-serializable description of one
+experiment: the topology, the channel environment, the policies under test,
+the schedule (per-round bandit run, periodic stale-weight run, or a pure
+strategy-decision protocol run) and the replication plan.  Specs round-trip
+losslessly through ``to_dict()``/``from_dict()`` (and therefore through
+JSON), validate themselves with actionable error messages, and know how to
+materialize the runtime objects (:class:`~repro.api.ChannelAccessSystem`,
+policies) they describe.
+
+The tree::
+
+    ScenarioSpec
+    ├── TopologySpec      which conflict graph to build
+    ├── ChannelSpec       which ground-truth channel state to attach
+    ├── PolicySpec        one per learning policy under test (a tuple)
+    ├── ScheduleSpec      per-round | periodic | protocol
+    └── ReplicationSpec   how many seed-streamed replications, how many jobs
+
+Running a spec is :func:`repro.spec.runner.run_scenario`; naming and sharing
+specs is :mod:`repro.spec.registry`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.channels.catalog import DEFAULT_RELATIVE_STD, assign_rates_to_network
+from repro.channels.state import ChannelState
+from repro.graph.conflict_graph import ConflictGraph
+from repro.graph.topology import (
+    connected_random_network,
+    grid_network,
+    linear_network,
+    random_network,
+    ring_network,
+    star_network,
+)
+
+__all__ = [
+    "SpecError",
+    "TopologySpec",
+    "ChannelSpec",
+    "PolicySpec",
+    "ScheduleSpec",
+    "ReplicationSpec",
+    "ScenarioSpec",
+]
+
+#: Extended graphs above this many vertices switch the protocol's local MWIS
+#: from exact enumeration to the greedy constant-approximation (the same
+#: threshold the legacy fig6/fig8/complexity experiments used).
+AUTO_GREEDY_VERTEX_THRESHOLD = 400
+
+
+class SpecError(ValueError):
+    """A scenario specification is invalid or cannot be deserialized."""
+
+
+# ----------------------------------------------------------------------
+# (De)serialization helpers shared by every spec class
+# ----------------------------------------------------------------------
+def _require_mapping(data, path: str) -> Mapping:
+    if not isinstance(data, Mapping):
+        raise SpecError(
+            f"{path}: expected a JSON object, got {type(data).__name__}"
+        )
+    return data
+
+
+def _check_keys(data: Mapping, cls, path: str) -> None:
+    allowed = {f.name for f in fields(cls)}
+    unknown = sorted(set(data) - allowed)
+    if unknown:
+        raise SpecError(
+            f"{path}: unknown field(s) {unknown}; allowed fields are {sorted(allowed)}"
+        )
+
+
+def _as_int(value, path: str) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise SpecError(f"{path}: expected an integer, got {value!r}")
+    return value
+
+
+def _as_float(value, path: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise SpecError(f"{path}: expected a number, got {value!r}")
+    return float(value)
+
+
+def _as_str(value, path: str) -> str:
+    if not isinstance(value, str):
+        raise SpecError(f"{path}: expected a string, got {value!r}")
+    return value
+
+
+def _as_bool(value, path: str) -> bool:
+    if not isinstance(value, bool):
+        raise SpecError(f"{path}: expected true/false, got {value!r}")
+    return value
+
+
+def _choice(value, options: Sequence[str], path: str) -> str:
+    value = _as_str(value, path)
+    if value not in options:
+        raise SpecError(
+            f"{path}: unknown value {value!r}; choose one of {sorted(options)}"
+        )
+    return value
+
+
+# ----------------------------------------------------------------------
+# TopologySpec
+# ----------------------------------------------------------------------
+TOPOLOGY_KINDS = ("random", "connected-random", "linear", "grid", "ring", "star")
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """Which conflict graph to build.
+
+    ``random`` / ``connected-random`` are the paper's unit-disk deployments
+    (``average_degree`` controls density); ``linear`` is the Fig. 5 worst
+    case; ``grid`` needs ``rows`` and ``cols`` (``num_nodes = rows * cols``);
+    ``ring`` and ``star`` are the combinatorial test topologies.
+    """
+
+    kind: str = "random"
+    num_nodes: int = 20
+    num_channels: int = 3
+    #: Target average conflict degree (random kinds only).
+    average_degree: float = 6.0
+    #: Grid shape; only used (and required) by ``kind="grid"``.
+    rows: int = 0
+    cols: int = 0
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self, path: str = "topology") -> None:
+        """Raise :class:`SpecError` when the topology is ill-formed."""
+        if self.kind not in TOPOLOGY_KINDS:
+            raise SpecError(
+                f"{path}.kind: unknown topology kind {self.kind!r}; "
+                f"choose one of {sorted(TOPOLOGY_KINDS)}"
+            )
+        if self.num_nodes <= 0:
+            raise SpecError(
+                f"{path}.num_nodes: must be positive, got {self.num_nodes}"
+            )
+        if self.num_channels <= 0:
+            raise SpecError(
+                f"{path}.num_channels: must be positive, got {self.num_channels}"
+            )
+        if self.kind in ("random", "connected-random") and self.average_degree <= 0:
+            raise SpecError(
+                f"{path}.average_degree: must be positive for {self.kind!r} "
+                f"topologies, got {self.average_degree}"
+            )
+        if self.kind == "grid":
+            if self.rows <= 0 or self.cols <= 0:
+                raise SpecError(
+                    f"{path}: grid topologies need positive rows and cols, "
+                    f"got rows={self.rows}, cols={self.cols}"
+                )
+            if self.rows * self.cols != self.num_nodes:
+                raise SpecError(
+                    f"{path}: num_nodes ({self.num_nodes}) must equal "
+                    f"rows * cols ({self.rows} * {self.cols} = {self.rows * self.cols})"
+                )
+        if self.kind == "star" and self.num_nodes < 2:
+            raise SpecError(
+                f"{path}.num_nodes: a star needs a hub and at least one leaf "
+                f"(num_nodes >= 2), got {self.num_nodes}"
+            )
+
+    def with_size(self, num_nodes: int, num_channels: int) -> "TopologySpec":
+        """The same topology family at a different ``(N, M)`` (sweep support)."""
+        return replace(self, num_nodes=num_nodes, num_channels=num_channels)
+
+    def build(self, rng: np.random.Generator) -> ConflictGraph:
+        """Materialize the conflict graph, drawing positions from ``rng``."""
+        if self.kind == "random":
+            return random_network(
+                self.num_nodes,
+                self.num_channels,
+                average_degree=self.average_degree,
+                rng=rng,
+            )
+        if self.kind == "connected-random":
+            return connected_random_network(
+                self.num_nodes,
+                self.num_channels,
+                average_degree=self.average_degree,
+                rng=rng,
+            )
+        if self.kind == "linear":
+            return linear_network(self.num_nodes, self.num_channels)
+        if self.kind == "grid":
+            return grid_network(self.rows, self.cols, self.num_channels)
+        if self.kind == "ring":
+            return ring_network(self.num_nodes, self.num_channels)
+        if self.kind == "star":
+            return star_network(self.num_nodes - 1, self.num_channels)
+        raise SpecError(f"unhandled topology kind {self.kind!r}")  # pragma: no cover
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation (inverse of :meth:`from_dict`)."""
+        return {
+            "kind": self.kind,
+            "num_nodes": self.num_nodes,
+            "num_channels": self.num_channels,
+            "average_degree": self.average_degree,
+            "rows": self.rows,
+            "cols": self.cols,
+        }
+
+    @classmethod
+    def from_dict(cls, data, path: str = "topology") -> "TopologySpec":
+        """Deserialize, raising :class:`SpecError` with the offending path."""
+        data = _require_mapping(data, path)
+        _check_keys(data, cls, path)
+        kwargs: Dict[str, object] = {}
+        if "kind" in data:
+            kwargs["kind"] = _choice(data["kind"], TOPOLOGY_KINDS, f"{path}.kind")
+        for name in ("num_nodes", "num_channels", "rows", "cols"):
+            if name in data:
+                kwargs[name] = _as_int(data[name], f"{path}.{name}")
+        if "average_degree" in data:
+            kwargs["average_degree"] = _as_float(
+                data["average_degree"], f"{path}.average_degree"
+            )
+        return cls(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# ChannelSpec
+# ----------------------------------------------------------------------
+CHANNEL_KINDS = ("paper-rates", "mean-matrix")
+
+
+@dataclass(frozen=True)
+class ChannelSpec:
+    """Which ground-truth channel environment to attach.
+
+    ``paper-rates`` draws each (node, channel) mean uniformly from the
+    paper's 8-rate catalogue (or a custom ``rates`` pool) and evolves every
+    channel as an i.i.d. zero-clipped Gaussian with ``relative_std`` of the
+    mean; ``mean-matrix`` pins the exact ``(N, M)`` mean matrix in the spec,
+    making the scenario's environment fully declarative.
+    """
+
+    kind: str = "paper-rates"
+    relative_std: float = DEFAULT_RELATIVE_STD
+    #: Custom rate pool for ``paper-rates`` (``None`` = the paper catalogue).
+    rates: Optional[Tuple[float, ...]] = None
+    #: Pinned mean matrix for ``mean-matrix`` (row per node).
+    means: Optional[Tuple[Tuple[float, ...], ...]] = None
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self, path: str = "channels") -> None:
+        """Raise :class:`SpecError` when the channel spec is ill-formed."""
+        if self.kind not in CHANNEL_KINDS:
+            raise SpecError(
+                f"{path}.kind: unknown channel kind {self.kind!r}; "
+                f"choose one of {sorted(CHANNEL_KINDS)}"
+            )
+        if self.relative_std < 0:
+            raise SpecError(
+                f"{path}.relative_std: must be non-negative, got {self.relative_std}"
+            )
+        if self.kind == "paper-rates":
+            if self.means is not None:
+                raise SpecError(
+                    f"{path}.means: only valid with kind='mean-matrix' "
+                    f"(got kind={self.kind!r})"
+                )
+            if self.rates is not None and len(self.rates) == 0:
+                raise SpecError(f"{path}.rates: the rate pool must not be empty")
+        if self.kind == "mean-matrix":
+            if self.rates is not None:
+                raise SpecError(
+                    f"{path}.rates: only valid with kind='paper-rates' "
+                    f"(got kind={self.kind!r})"
+                )
+            if not self.means:
+                raise SpecError(
+                    f"{path}.means: kind='mean-matrix' needs a non-empty "
+                    "row-per-node matrix of mean rates"
+                )
+            width = len(self.means[0])
+            if width == 0 or any(len(row) != width for row in self.means):
+                raise SpecError(
+                    f"{path}.means: all rows must have the same positive length"
+                )
+
+    def build_means(
+        self, num_nodes: int, num_channels: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """The ``(N, M)`` true-mean matrix of this environment."""
+        if self.kind == "mean-matrix":
+            means = np.asarray(self.means, dtype=float)
+            if means.shape != (num_nodes, num_channels):
+                raise SpecError(
+                    f"channels.means: shape {means.shape} does not match the "
+                    f"topology ({num_nodes} nodes x {num_channels} channels)"
+                )
+            return means
+        return assign_rates_to_network(
+            num_nodes, num_channels, rng=rng, rates=self.rates
+        )
+
+    def build_state(
+        self, num_nodes: int, num_channels: int, rng: np.random.Generator
+    ) -> ChannelState:
+        """Materialize the :class:`~repro.channels.state.ChannelState`."""
+        means = self.build_means(num_nodes, num_channels, rng)
+        return ChannelState.from_mean_matrix(means, relative_std=self.relative_std)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation (inverse of :meth:`from_dict`)."""
+        return {
+            "kind": self.kind,
+            "relative_std": self.relative_std,
+            "rates": list(self.rates) if self.rates is not None else None,
+            "means": [list(row) for row in self.means] if self.means is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data, path: str = "channels") -> "ChannelSpec":
+        """Deserialize, raising :class:`SpecError` with the offending path."""
+        data = _require_mapping(data, path)
+        _check_keys(data, cls, path)
+        kwargs: Dict[str, object] = {}
+        if "kind" in data:
+            kwargs["kind"] = _choice(data["kind"], CHANNEL_KINDS, f"{path}.kind")
+        if "relative_std" in data:
+            kwargs["relative_std"] = _as_float(
+                data["relative_std"], f"{path}.relative_std"
+            )
+        if data.get("rates") is not None:
+            raw = data["rates"]
+            if not isinstance(raw, Sequence) or isinstance(raw, (str, bytes)):
+                raise SpecError(f"{path}.rates: expected a list of numbers, got {raw!r}")
+            kwargs["rates"] = tuple(
+                _as_float(rate, f"{path}.rates[{i}]") for i, rate in enumerate(raw)
+            )
+        if data.get("means") is not None:
+            raw = data["means"]
+            if not isinstance(raw, Sequence) or isinstance(raw, (str, bytes)):
+                raise SpecError(
+                    f"{path}.means: expected a list of per-node rows, got {raw!r}"
+                )
+            rows = []
+            for i, row in enumerate(raw):
+                if not isinstance(row, Sequence) or isinstance(row, (str, bytes)):
+                    raise SpecError(
+                        f"{path}.means[{i}]: expected a list of numbers, got {row!r}"
+                    )
+                rows.append(
+                    tuple(_as_float(v, f"{path}.means[{i}][{j}]") for j, v in enumerate(row))
+                )
+            kwargs["means"] = tuple(rows)
+        return cls(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# PolicySpec
+# ----------------------------------------------------------------------
+POLICY_KINDS = ("algorithm2", "llr", "oracle")
+SOLVER_CHOICES = ("auto", "exact", "greedy")
+
+_DEFAULT_LABELS = {"algorithm2": "Algorithm2", "llr": "LLR", "oracle": "Oracle"}
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """One policy under test.
+
+    ``algorithm2`` is the paper's combinatorial-UCB learner, ``llr`` the LLR
+    baseline, ``oracle`` the genie playing the optimal fixed strategy.  ``r``
+    is the robust-PTAS radius of the distributed strategy decision and
+    ``solver`` picks the local MWIS inside the protocol: ``auto`` uses exact
+    enumeration up to :data:`AUTO_GREEDY_VERTEX_THRESHOLD` extended-graph
+    vertices and the greedy constant-approximation above it (the thresholds
+    the paper experiments used); ``exact``/``greedy`` force one.
+    """
+
+    kind: str = "algorithm2"
+    #: Display label; defaults to the conventional name for the kind.
+    label: Optional[str] = None
+    #: Robust-PTAS radius of the strategy decision.
+    r: int = 2
+    solver: str = "auto"
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self, path: str = "policies[?]") -> None:
+        """Raise :class:`SpecError` when the policy spec is ill-formed."""
+        if self.kind not in POLICY_KINDS:
+            raise SpecError(
+                f"{path}.kind: unknown policy kind {self.kind!r}; "
+                f"choose one of {sorted(POLICY_KINDS)}"
+            )
+        if self.label is not None and not self.label:
+            raise SpecError(f"{path}.label: must be a non-empty string when given")
+        if self.r < 1:
+            raise SpecError(f"{path}.r: the PTAS radius must be >= 1, got {self.r}")
+        if self.solver not in SOLVER_CHOICES:
+            raise SpecError(
+                f"{path}.solver: unknown solver {self.solver!r}; "
+                f"choose one of {sorted(SOLVER_CHOICES)}"
+            )
+
+    @property
+    def display_label(self) -> str:
+        """Label used to key this policy's series in results."""
+        return self.label if self.label is not None else _DEFAULT_LABELS[self.kind]
+
+    def use_greedy_local_solver(self, num_vertices: int) -> bool:
+        """Whether the protocol's local MWIS should be the greedy solver."""
+        if self.solver == "greedy":
+            return True
+        if self.solver == "exact":
+            return False
+        return num_vertices > AUTO_GREEDY_VERTEX_THRESHOLD
+
+    def build(self, system):
+        """Materialize the policy against a :class:`~repro.api.ChannelAccessSystem`."""
+        # Imported here: repro.api imports repro.sim, which this module must
+        # stay importable without at class-definition time.
+        from repro.distributed.framework import DistributedMWISSolver
+        from repro.mwis.greedy import GreedyMWISSolver
+
+        if self.kind == "oracle":
+            return system.oracle_policy()
+        local_solver = (
+            GreedyMWISSolver()
+            if self.use_greedy_local_solver(system.extended_graph.num_vertices)
+            else None
+        )
+        solver = DistributedMWISSolver(
+            system.extended_graph, r=self.r, local_solver=local_solver
+        )
+        if self.kind == "algorithm2":
+            return system.paper_policy(solver=solver, r=self.r)
+        if self.kind == "llr":
+            return system.llr_policy(solver=solver, r=self.r)
+        raise SpecError(f"unhandled policy kind {self.kind!r}")  # pragma: no cover
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation (inverse of :meth:`from_dict`)."""
+        return {"kind": self.kind, "label": self.label, "r": self.r, "solver": self.solver}
+
+    @classmethod
+    def from_dict(cls, data, path: str = "policies[?]") -> "PolicySpec":
+        """Deserialize, raising :class:`SpecError` with the offending path."""
+        data = _require_mapping(data, path)
+        _check_keys(data, cls, path)
+        kwargs: Dict[str, object] = {}
+        if "kind" in data:
+            kwargs["kind"] = _choice(data["kind"], POLICY_KINDS, f"{path}.kind")
+        if data.get("label") is not None:
+            kwargs["label"] = _as_str(data["label"], f"{path}.label")
+        if "r" in data:
+            kwargs["r"] = _as_int(data["r"], f"{path}.r")
+        if "solver" in data:
+            kwargs["solver"] = _choice(data["solver"], SOLVER_CHOICES, f"{path}.solver")
+        return cls(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# ScheduleSpec
+# ----------------------------------------------------------------------
+SCHEDULE_MODES = ("per-round", "periodic", "protocol")
+
+
+@dataclass(frozen=True)
+class ScheduleSpec:
+    """When strategy decisions happen.
+
+    * ``per-round`` — the Fig. 7 regime: one strategy decision per time slot
+      for ``num_rounds`` slots (dispatches to ``simulate_batch``).
+    * ``periodic`` — the Fig. 8 / Section V-C regime: one decision per period
+      of ``y`` slots, for every ``y`` in ``periods``, ``num_periods`` updates
+      each (dispatches to ``simulate_periodic``).
+    * ``protocol`` — no bandit at all: run the distributed strategy decision
+      (Algorithm 3) once per topology and record its convergence trajectory
+      and per-vertex costs (the Fig. 6 / Section IV-C studies).
+      ``max_mini_rounds`` pads/truncates the reported trajectory (0 = raw).
+    """
+
+    mode: str = "per-round"
+    num_rounds: int = 1000
+    periods: Tuple[int, ...] = (1, 5, 10, 20)
+    num_periods: int = 1000
+    max_mini_rounds: int = 0
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self, path: str = "schedule") -> None:
+        """Raise :class:`SpecError` when the schedule is ill-formed."""
+        if self.mode not in SCHEDULE_MODES:
+            raise SpecError(
+                f"{path}.mode: unknown schedule mode {self.mode!r}; "
+                f"choose one of {sorted(SCHEDULE_MODES)}"
+            )
+        if self.mode == "per-round" and self.num_rounds <= 0:
+            raise SpecError(
+                f"{path}.num_rounds: must be positive, got {self.num_rounds}"
+            )
+        if self.mode == "periodic":
+            if not self.periods:
+                raise SpecError(
+                    f"{path}.periods: periodic schedules need at least one "
+                    "update period"
+                )
+            bad = [p for p in self.periods if p < 1]
+            if bad:
+                raise SpecError(
+                    f"{path}.periods: every period must be >= 1 slot, got {bad}"
+                )
+            if self.num_periods <= 0:
+                raise SpecError(
+                    f"{path}.num_periods: must be positive, got {self.num_periods}"
+                )
+        if self.mode == "protocol" and self.max_mini_rounds < 0:
+            raise SpecError(
+                f"{path}.max_mini_rounds: must be >= 0 (0 = run to convergence "
+                f"unpadded), got {self.max_mini_rounds}"
+            )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation (inverse of :meth:`from_dict`)."""
+        return {
+            "mode": self.mode,
+            "num_rounds": self.num_rounds,
+            "periods": list(self.periods),
+            "num_periods": self.num_periods,
+            "max_mini_rounds": self.max_mini_rounds,
+        }
+
+    @classmethod
+    def from_dict(cls, data, path: str = "schedule") -> "ScheduleSpec":
+        """Deserialize, raising :class:`SpecError` with the offending path."""
+        data = _require_mapping(data, path)
+        _check_keys(data, cls, path)
+        kwargs: Dict[str, object] = {}
+        if "mode" in data:
+            kwargs["mode"] = _choice(data["mode"], SCHEDULE_MODES, f"{path}.mode")
+        for name in ("num_rounds", "num_periods", "max_mini_rounds"):
+            if name in data:
+                kwargs[name] = _as_int(data[name], f"{path}.{name}")
+        if "periods" in data:
+            raw = data["periods"]
+            if not isinstance(raw, Sequence) or isinstance(raw, (str, bytes)):
+                raise SpecError(
+                    f"{path}.periods: expected a list of integers, got {raw!r}"
+                )
+            kwargs["periods"] = tuple(
+                _as_int(p, f"{path}.periods[{i}]") for i, p in enumerate(raw)
+            )
+        return cls(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# ReplicationSpec
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ReplicationSpec:
+    """How many independent replications, on how many worker threads.
+
+    Replication randomness is streamed with ``SeedSequence.spawn`` from the
+    scenario seed, so replication ``i`` sees the same stream regardless of
+    the total count or the thread schedule.
+    """
+
+    replications: int = 1
+    jobs: int = 1
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self, path: str = "replication") -> None:
+        """Raise :class:`SpecError` when the replication plan is ill-formed."""
+        if self.replications <= 0:
+            raise SpecError(
+                f"{path}.replications: must be positive, got {self.replications}"
+            )
+        if self.jobs <= 0:
+            raise SpecError(f"{path}.jobs: must be positive, got {self.jobs}")
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation (inverse of :meth:`from_dict`)."""
+        return {"replications": self.replications, "jobs": self.jobs}
+
+    @classmethod
+    def from_dict(cls, data, path: str = "replication") -> "ReplicationSpec":
+        """Deserialize, raising :class:`SpecError` with the offending path."""
+        data = _require_mapping(data, path)
+        _check_keys(data, cls, path)
+        kwargs: Dict[str, object] = {}
+        for name in ("replications", "jobs"):
+            if name in data:
+                kwargs[name] = _as_int(data[name], f"{path}.{name}")
+        return cls(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# ScenarioSpec
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One fully-described experiment scenario.
+
+    ``network_sweep`` (protocol mode only) re-runs the scenario once per
+    ``(num_nodes, num_channels)`` pair with the topology acting as a
+    template — the Fig. 6 / complexity sweeps.  ``alpha`` is the assumed
+    approximation ratio of the beta-regret benchmark and ``compute_optimal``
+    controls whether the optimal fixed-strategy throughput ``R_1`` is brute
+    forced before a per-round run (only feasible for small networks).
+    """
+
+    name: str
+    seed: int = 2014
+    description: str = ""
+    topology: TopologySpec = field(default_factory=TopologySpec)
+    channels: ChannelSpec = field(default_factory=ChannelSpec)
+    policies: Tuple[PolicySpec, ...] = (
+        PolicySpec(kind="algorithm2"),
+        PolicySpec(kind="llr"),
+    )
+    schedule: ScheduleSpec = field(default_factory=ScheduleSpec)
+    replication: ReplicationSpec = field(default_factory=ReplicationSpec)
+    network_sweep: Tuple[Tuple[int, int], ...] = ()
+    #: Approximation ratio assumed by the beta-regret benchmark (Fig. 7b).
+    alpha: float = 4.0
+    #: Brute-force the optimal fixed strategy before per-round runs.
+    compute_optimal: bool = False
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self, path: str = "scenario") -> None:
+        """Raise :class:`SpecError` when the scenario is ill-formed."""
+        if not self.name or not isinstance(self.name, str):
+            raise SpecError(f"{path}.name: every scenario needs a non-empty name")
+        if isinstance(self.seed, bool) or not isinstance(self.seed, int):
+            raise SpecError(f"{path}.seed: expected an integer, got {self.seed!r}")
+        if self.seed < 0:
+            raise SpecError(
+                f"{path}.seed: must be non-negative (numpy seeds reject "
+                f"negative integers), got {self.seed}"
+            )
+        self.topology.validate(f"{path}.topology")
+        self.channels.validate(f"{path}.channels")
+        self.schedule.validate(f"{path}.schedule")
+        self.replication.validate(f"{path}.replication")
+        if not self.policies:
+            raise SpecError(
+                f"{path}.policies: at least one policy is required (protocol "
+                "scenarios use the first policy's r / solver for the strategy "
+                "decision)"
+            )
+        labels = []
+        for index, policy in enumerate(self.policies):
+            policy.validate(f"{path}.policies[{index}]")
+            labels.append(policy.display_label)
+        duplicates = sorted({label for label in labels if labels.count(label) > 1})
+        if duplicates:
+            raise SpecError(
+                f"{path}.policies: duplicate policy label(s) {duplicates}; "
+                "give each policy a distinct 'label'"
+            )
+        if self.alpha <= 0:
+            raise SpecError(f"{path}.alpha: must be positive, got {self.alpha}")
+        if self.network_sweep:
+            if self.schedule.mode != "protocol":
+                raise SpecError(
+                    f"{path}.network_sweep: only supported with "
+                    f"schedule.mode='protocol' (got {self.schedule.mode!r})"
+                )
+            if self.topology.kind not in ("random", "connected-random"):
+                raise SpecError(
+                    f"{path}.network_sweep: needs a scalable topology kind "
+                    f"('random' or 'connected-random'), got {self.topology.kind!r}"
+                )
+            for index, cell in enumerate(self.network_sweep):
+                if (
+                    len(cell) != 2
+                    or any(isinstance(v, bool) or not isinstance(v, int) for v in cell)
+                    or any(v <= 0 for v in cell)
+                ):
+                    raise SpecError(
+                        f"{path}.network_sweep[{index}]: expected a "
+                        f"[num_nodes, num_channels] pair of positive integers, "
+                        f"got {cell!r}"
+                    )
+        if self.channels.kind == "mean-matrix" and self.network_sweep:
+            raise SpecError(
+                f"{path}: a pinned channels.means matrix cannot be combined "
+                "with a network_sweep (the shape changes per cell)"
+            )
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation (inverse of :meth:`from_dict`)."""
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "description": self.description,
+            "topology": self.topology.to_dict(),
+            "channels": self.channels.to_dict(),
+            "policies": [policy.to_dict() for policy in self.policies],
+            "schedule": self.schedule.to_dict(),
+            "replication": self.replication.to_dict(),
+            "network_sweep": [list(cell) for cell in self.network_sweep],
+            "alpha": self.alpha,
+            "compute_optimal": self.compute_optimal,
+        }
+
+    @classmethod
+    def from_dict(cls, data, path: str = "scenario") -> "ScenarioSpec":
+        """Deserialize, raising :class:`SpecError` with the offending path."""
+        data = _require_mapping(data, path)
+        _check_keys(data, cls, path)
+        if "name" not in data:
+            raise SpecError(f"{path}.name: every scenario needs a name")
+        kwargs: Dict[str, object] = {"name": _as_str(data["name"], f"{path}.name")}
+        if "seed" in data:
+            kwargs["seed"] = _as_int(data["seed"], f"{path}.seed")
+        if "description" in data:
+            kwargs["description"] = _as_str(data["description"], f"{path}.description")
+        if "topology" in data:
+            kwargs["topology"] = TopologySpec.from_dict(
+                data["topology"], f"{path}.topology"
+            )
+        if "channels" in data:
+            kwargs["channels"] = ChannelSpec.from_dict(
+                data["channels"], f"{path}.channels"
+            )
+        if "policies" in data:
+            raw = data["policies"]
+            if not isinstance(raw, Sequence) or isinstance(raw, (str, bytes)):
+                raise SpecError(
+                    f"{path}.policies: expected a list of policy objects, got {raw!r}"
+                )
+            kwargs["policies"] = tuple(
+                PolicySpec.from_dict(entry, f"{path}.policies[{i}]")
+                for i, entry in enumerate(raw)
+            )
+        if "schedule" in data:
+            kwargs["schedule"] = ScheduleSpec.from_dict(
+                data["schedule"], f"{path}.schedule"
+            )
+        if "replication" in data:
+            kwargs["replication"] = ReplicationSpec.from_dict(
+                data["replication"], f"{path}.replication"
+            )
+        if "network_sweep" in data:
+            raw = data["network_sweep"]
+            if not isinstance(raw, Sequence) or isinstance(raw, (str, bytes)):
+                raise SpecError(
+                    f"{path}.network_sweep: expected a list of [N, M] pairs, got {raw!r}"
+                )
+            sweep = []
+            for i, cell in enumerate(raw):
+                if not isinstance(cell, Sequence) or isinstance(cell, (str, bytes)):
+                    raise SpecError(
+                        f"{path}.network_sweep[{i}]: expected an [N, M] pair, got {cell!r}"
+                    )
+                sweep.append(
+                    tuple(
+                        _as_int(v, f"{path}.network_sweep[{i}][{j}]")
+                        for j, v in enumerate(cell)
+                    )
+                )
+            kwargs["network_sweep"] = tuple(sweep)
+        if "alpha" in data:
+            kwargs["alpha"] = _as_float(data["alpha"], f"{path}.alpha")
+        if "compute_optimal" in data:
+            kwargs["compute_optimal"] = _as_bool(
+                data["compute_optimal"], f"{path}.compute_optimal"
+            )
+        try:
+            return cls(**kwargs)
+        except SpecError as err:
+            # Re-prefix cross-field validation errors with the caller's path.
+            raise SpecError(str(err).replace("scenario.", f"{path}.", 1)) from None
+
+    # ------------------------------------------------------------------
+    # Materialization
+    # ------------------------------------------------------------------
+    def build(self):
+        """Materialize the scenario's environment.
+
+        Draws the topology and channel state from one ``default_rng(seed)``
+        stream (the same draw order the legacy experiments used, so presets
+        reproduce the historical environments bit for bit) and wires them
+        into a :class:`~repro.api.ChannelAccessSystem` rooted at the same
+        seed.  Returns ``(system, policies)`` where ``policies`` maps each
+        display label to a zero-argument policy factory.
+
+        Only meaningful for simulation modes; protocol scenarios are
+        materialized per sweep cell by the runner instead.
+        """
+        from repro.api import ChannelAccessSystem
+
+        rng = np.random.default_rng(self.seed)
+        graph = self.topology.build(rng)
+        channels = self.channels.build_state(
+            graph.num_nodes, graph.num_channels, rng
+        )
+        system = ChannelAccessSystem(graph, channels, seed=self.seed)
+        factories = {
+            policy.display_label: (lambda p=policy: p.build(system))
+            for policy in self.policies
+        }
+        return system, factories
+
+    def run(self):
+        """Run this scenario (delegates to :func:`repro.spec.runner.run_scenario`)."""
+        from repro.spec.runner import run_scenario
+
+        return run_scenario(self)

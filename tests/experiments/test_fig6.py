@@ -8,7 +8,7 @@ from repro.experiments.fig6_convergence import format_fig6, run_fig6
 
 @pytest.fixture(scope="module")
 def quick_result():
-    return run_fig6(Fig6Config.quick())
+    return run_fig6(Fig6Config.from_scenario("fig6-quick"))
 
 
 class TestFig6:
@@ -57,6 +57,6 @@ class TestFig6:
         assert "Convergence points" in text
 
     def test_default_config_is_paper_scale(self):
-        config = Fig6Config.paper()
+        config = Fig6Config.from_scenario("fig6-paper")
         assert (200, 10) in config.network_sizes
         assert config.r == 2

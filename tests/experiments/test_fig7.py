@@ -8,7 +8,7 @@ from repro.experiments.fig7_regret import format_fig7, run_fig7
 
 @pytest.fixture(scope="module")
 def quick_result():
-    return run_fig7(Fig7Config.quick())
+    return run_fig7(Fig7Config.from_scenario("fig7-quick"))
 
 
 class TestFig7:

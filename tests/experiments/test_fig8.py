@@ -8,7 +8,7 @@ from repro.experiments.fig8_periodic import format_fig8, run_fig8
 
 @pytest.fixture(scope="module")
 def quick_result():
-    return run_fig8(Fig8Config.quick())
+    return run_fig8(Fig8Config.from_scenario("fig8-quick"))
 
 
 class TestFig8:
@@ -55,7 +55,7 @@ class TestFig8:
         assert "Algorithm2" in text and "LLR" in text
 
     def test_paper_config_matches_section_vc(self):
-        config = Fig8Config.paper()
+        config = Fig8Config.from_scenario("fig8-paper")
         assert config.num_nodes == 100
         assert config.num_channels == 10
         assert config.periods == (1, 5, 10, 20)

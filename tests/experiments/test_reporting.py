@@ -42,21 +42,41 @@ class TestRenderSeries:
 
 class TestConfigs:
     def test_quick_configs_are_smaller_than_paper(self):
-        assert len(Fig6Config.quick().network_sizes) < len(Fig6Config.paper().network_sizes)
-        assert Fig7Config.quick().num_rounds < Fig7Config.paper().num_rounds
-        assert Fig8Config.quick().num_periods < Fig8Config.paper().num_periods
-        assert len(ComplexityConfig.quick().network_sizes) < len(
-            ComplexityConfig.paper().network_sizes
+        assert len(Fig6Config.from_scenario("fig6-quick").network_sizes) < len(
+            Fig6Config.from_scenario("fig6-paper").network_sizes
         )
+        assert (
+            Fig7Config.from_scenario("fig7-quick").num_rounds
+            < Fig7Config.from_scenario("fig7-paper").num_rounds
+        )
+        assert (
+            Fig8Config.from_scenario("fig8-quick").num_periods
+            < Fig8Config.from_scenario("fig8-paper").num_periods
+        )
+        assert len(
+            ComplexityConfig.from_scenario("complexity-quick").network_sizes
+        ) < len(ComplexityConfig.from_scenario("complexity-paper").network_sizes)
 
     def test_paper_fig7_matches_section_vb(self):
-        config = Fig7Config.paper()
+        config = Fig7Config.from_scenario("fig7-paper")
         assert config.num_nodes == 15
         assert config.num_channels == 3
         assert config.num_rounds == 1000
         assert config.r == 2
 
     def test_configs_are_frozen(self):
-        config = Fig6Config.paper()
+        config = Fig6Config.from_scenario("fig6-paper")
         with pytest.raises(Exception):
             config.r = 5
+
+    def test_deprecated_shims_warn_and_delegate_to_the_registry(self):
+        for cls, scenario in (
+            (Fig6Config, "fig6"),
+            (Fig7Config, "fig7"),
+            (Fig8Config, "fig8"),
+            (ComplexityConfig, "complexity"),
+        ):
+            for preset in ("paper", "quick"):
+                with pytest.warns(DeprecationWarning, match=f"{scenario}-{preset}"):
+                    shimmed = getattr(cls, preset)()
+                assert shimmed == cls.from_scenario(f"{scenario}-{preset}")

@@ -42,7 +42,7 @@ class TestTable2:
 class TestComplexityExperiment:
     @pytest.fixture(scope="class")
     def result(self):
-        return run_complexity(ComplexityConfig.quick())
+        return run_complexity(ComplexityConfig.from_scenario("complexity-quick"))
 
     def test_one_record_per_network(self, result):
         assert len(result.records) == len(result.config.network_sizes)

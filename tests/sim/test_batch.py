@@ -10,7 +10,7 @@ from repro.core.policies import CombinatorialUCBPolicy, LLRPolicy
 from repro.graph.conflict_graph import ConflictGraph
 from repro.graph.extended import ExtendedConflictGraph
 from repro.mwis.exact import ExactMWISSolver
-from repro.sim.batch import BatchSimulator, replication_rngs
+from repro.sim.batch import BatchSimulator, child_seed_sequences, replication_rngs
 from repro.sim.engine import Simulator
 
 
@@ -47,6 +47,26 @@ class TestReplicationRngs:
     def test_invalid_replication_count_rejected(self):
         with pytest.raises(ValueError):
             replication_rngs(0, 0)
+
+    def test_child_derivation_matches_spawn_without_mutation(self):
+        root = np.random.SeedSequence(7)
+        spawned = np.random.SeedSequence(7).spawn(3)
+        derived = child_seed_sequences(root, 3)
+        assert root.n_children_spawned == 0
+        for a, b in zip(spawned, derived):
+            assert (
+                np.random.default_rng(a).normal() == np.random.default_rng(b).normal()
+            )
+
+    def test_child_derivation_preserves_pool_size(self):
+        root = np.random.SeedSequence(7, pool_size=8)
+        spawned = np.random.SeedSequence(7, pool_size=8).spawn(2)
+        derived = child_seed_sequences(root, 2)
+        for a, b in zip(spawned, derived):
+            assert b.pool_size == 8
+            assert (
+                np.random.default_rng(a).normal() == np.random.default_rng(b).normal()
+            )
 
 
 class TestBatchMatchesSequential:

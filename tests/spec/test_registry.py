@@ -1,0 +1,79 @@
+"""Tests for the scenario registry."""
+
+import pytest
+
+from repro.spec import (
+    ScenarioRegistry,
+    ScenarioSpec,
+    SpecError,
+    get_scenario,
+)
+from repro.spec.scenario import PolicySpec, ScheduleSpec, TopologySpec
+
+
+def _tiny_spec(name="tiny"):
+    return ScenarioSpec(
+        name=name,
+        topology=TopologySpec(kind="ring", num_nodes=4, num_channels=2),
+        policies=(PolicySpec(kind="algorithm2", r=1),),
+        schedule=ScheduleSpec(mode="per-round", num_rounds=5),
+    )
+
+
+class TestRegistry:
+    def test_register_and_get(self):
+        registry = ScenarioRegistry()
+        registry.register(_tiny_spec())
+        assert registry.get("tiny") == _tiny_spec()
+        assert "tiny" in registry
+        assert len(registry) == 1
+
+    def test_register_under_a_different_name_renames(self):
+        registry = ScenarioRegistry()
+        spec = registry.register(_tiny_spec(), name="alias")
+        assert spec.name == "alias"
+        assert registry.get("alias").name == "alias"
+
+    def test_duplicate_registration_needs_overwrite(self):
+        registry = ScenarioRegistry()
+        registry.register(_tiny_spec())
+        with pytest.raises(SpecError, match="already registered"):
+            registry.register(_tiny_spec())
+        registry.register(_tiny_spec(), overwrite=True)
+
+    def test_unknown_name_lists_registered_scenarios(self):
+        registry = ScenarioRegistry()
+        registry.register(_tiny_spec())
+        with pytest.raises(SpecError, match="unknown scenario 'nope'.*tiny"):
+            registry.get("nope")
+
+    def test_non_spec_rejected(self):
+        registry = ScenarioRegistry()
+        with pytest.raises(SpecError, match="expected a ScenarioSpec"):
+            registry.register({"name": "dict"})
+
+
+class TestDefaultPresets:
+    def test_fig7_paper_matches_section_vb(self):
+        spec = get_scenario("fig7-paper")
+        assert spec.topology.num_nodes == 15
+        assert spec.topology.num_channels == 3
+        assert spec.schedule.num_rounds == 1000
+        assert spec.policies[0].r == 2
+        assert spec.compute_optimal is True
+
+    def test_fig8_paper_matches_section_vc(self):
+        spec = get_scenario("fig8-paper")
+        assert spec.topology.num_nodes == 100
+        assert spec.schedule.periods == (1, 5, 10, 20)
+        assert spec.schedule.num_periods == 1000
+
+    def test_fig6_paper_sweeps_six_networks(self):
+        spec = get_scenario("fig6-paper")
+        assert len(spec.network_sweep) == 6
+        assert (200, 10) in spec.network_sweep
+        assert spec.schedule.mode == "protocol"
+
+    def test_presets_carry_descriptions(self):
+        for name in ("fig6-quick", "fig7-paper", "fig8-quick", "complexity-paper"):
+            assert get_scenario(name).description

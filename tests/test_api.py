@@ -74,6 +74,59 @@ class TestSystemSimulation:
         assert result.num_periods == 10
         assert result.period_slots == 5
 
+    def test_sequential_runs_match_batch_replications(self, rng):
+        # Run k on a system consumes child k of the seed: the k-th
+        # sequential simulate() equals batch replication k bit for bit.
+        graph = connected_random_network(6, 3, rng=rng)
+        channels = ChannelState.random_paper_rates(6, 3, rng=rng)
+        seq_system = ChannelAccessSystem(graph, channels, seed=13)
+        first = seq_system.simulate(seq_system.paper_policy(r=1), 20)
+        second = seq_system.simulate(seq_system.paper_policy(r=1), 20)
+        batch_system = ChannelAccessSystem(graph, channels, seed=13)
+        batch = batch_system.simulate_batch(
+            lambda i: batch_system.paper_policy(r=1), 20, replications=2
+        )
+        assert (
+            first.observed_rewards() == batch.results[0].observed_rewards()
+        ).all()
+        assert (
+            second.observed_rewards() == batch.results[1].observed_rewards()
+        ).all()
+
+    def test_seed_none_still_shares_one_stream_family(self, rng):
+        # With seed=None the root entropy is drawn once in __init__, so
+        # sequential and batch runs on the same system stay coherent.
+        graph = connected_random_network(6, 3, rng=rng)
+        channels = ChannelState.random_paper_rates(6, 3, rng=rng)
+        system = ChannelAccessSystem(graph, channels, seed=None)
+        sequential = system.simulate(system.paper_policy(r=1), 15)
+        batch = system.simulate_batch(
+            lambda i: system.paper_policy(r=1), 15, replications=1
+        )
+        again = system.simulate_batch(
+            lambda i: system.paper_policy(r=1), 15, replications=1
+        )
+        assert (
+            sequential.observed_rewards() == batch.results[0].observed_rewards()
+        ).all()
+        assert (
+            batch.results[0].observed_rewards()
+            == again.results[0].observed_rewards()
+        ).all()
+
+    def test_second_run_is_independent_of_first_run_length(self, rng):
+        graph = connected_random_network(6, 3, rng=rng)
+        channels = ChannelState.random_paper_rates(6, 3, rng=rng)
+        short_first = ChannelAccessSystem(graph, channels, seed=5)
+        short_first.simulate(short_first.paper_policy(r=1), 3)
+        after_short = short_first.simulate(short_first.paper_policy(r=1), 15)
+        long_first = ChannelAccessSystem(graph, channels, seed=5)
+        long_first.simulate(long_first.paper_policy(r=1), 40)
+        after_long = long_first.simulate(long_first.paper_policy(r=1), 15)
+        assert (
+            after_short.observed_rewards() == after_long.observed_rewards()
+        ).all()
+
     def test_quickstart_docstring_flow(self, rng):
         # The flow shown in the package docstring must actually work.
         graph = connected_random_network(6, 3, rng=rng)

@@ -38,7 +38,7 @@ class TestWorkflow:
 
     def test_expected_jobs_present(self):
         jobs = _load_workflow()["jobs"]
-        assert set(jobs) == {"lint", "tests", "benchmark-smoke"}
+        assert set(jobs) == {"lint", "tests", "benchmark-smoke", "cli-smoke"}
 
     def test_lint_job_runs_ruff(self):
         lint = _load_workflow()["jobs"]["lint"]
@@ -58,6 +58,16 @@ class TestWorkflow:
             "pytest benchmarks" in command and "--benchmark-disable" in command
             for command in commands
         )
+
+    def test_cli_smoke_runs_a_registered_scenario_and_validates_json(self):
+        smoke = _load_workflow()["jobs"]["cli-smoke"]
+        commands = [step.get("run", "") for step in smoke["steps"]]
+        assert any(
+            "repro run" in command and "--json" in command for command in commands
+        ), "cli-smoke must run a registered scenario end-to-end"
+        assert any(
+            "ExperimentResult.from_json" in command for command in commands
+        ), "cli-smoke must validate the emitted JSON against the result schema"
 
     def test_jobs_cache_pip_against_pyproject(self):
         jobs = _load_workflow()["jobs"]

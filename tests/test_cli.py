@@ -1,5 +1,8 @@
 """Tests for the ``python -m repro`` experiment CLI."""
 
+import json
+
+import numpy as np
 import pytest
 
 from repro.cli import build_parser, main
@@ -20,6 +23,17 @@ class TestParser:
     def test_fig8_periods_option(self):
         args = build_parser().parse_args(["fig8", "--periods", "1,5"])
         assert args.periods == "1,5"
+
+    def test_complexity_has_the_paper_toggle(self):
+        args = build_parser().parse_args(["complexity", "--paper"])
+        assert args.paper is True
+
+    def test_run_collects_set_overrides(self):
+        args = build_parser().parse_args(
+            ["run", "fig7-quick", "--set", "seed=9", "--set", "policies.0.r=2"]
+        )
+        assert args.scenario == "fig7-quick"
+        assert args.overrides == ["seed=9", "policies.0.r=2"]
 
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
@@ -53,7 +67,94 @@ class TestMain:
         with pytest.raises(SystemExit):
             main(["fig8", "--periods", ","])
 
-    def test_complexity_command(self, capsys):
+    def test_complexity_command_defaults_to_quick(self, capsys):
         assert main(["complexity", "--seed", "4"]) == 0
         output = capsys.readouterr().out
         assert "max msgs/vertex" in output
+        # Quick preset: small sweep, like every other legacy default.
+        assert "10x3" in output and "60x3" not in output
+
+
+class TestScenarioCommands:
+    def test_list_shows_registered_scenarios(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        for name in ("fig6-paper", "fig7-quick", "fig8-quick", "complexity-paper"):
+            assert name in output
+
+    def test_show_prints_valid_spec_json(self, capsys):
+        assert main(["show", "fig7-quick"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["name"] == "fig7-quick"
+        assert payload["schedule"]["mode"] == "per-round"
+
+    def test_run_prints_text_report(self, capsys):
+        assert main(["run", "fig7-smoke"]) == 0
+        output = capsys.readouterr().out
+        assert "fig7-smoke" in output
+        assert "practical_regret[Algorithm2]" in output
+
+    def test_run_with_set_overrides(self, capsys):
+        assert main(["run", "fig7-smoke", "--set", "schedule.num_rounds=10"]) == 0
+        assert "fig7-smoke" in capsys.readouterr().out
+
+    def test_run_unknown_scenario_exits_with_known_names(self):
+        with pytest.raises(SystemExit, match="unknown scenario.*fig7-quick"):
+            main(["run", "does-not-exist"])
+
+    def test_run_bad_override_exits_with_path(self):
+        with pytest.raises(SystemExit, match="schedule"):
+            main(["run", "fig7-smoke", "--set", "schedule.bogus=1"])
+
+    def test_run_mistyped_override_exits_cleanly(self):
+        with pytest.raises(SystemExit, match="expected an integer.*'abc'"):
+            main(["run", "fig7-smoke", "--set", "schedule.num_rounds=abc"])
+
+    def test_run_conflicting_seeds_rejected(self):
+        with pytest.raises(SystemExit, match="conflicting seeds"):
+            main(["run", "fig7-smoke", "--seed", "5", "--set", "seed=9"])
+
+    def test_run_negative_seed_exits_cleanly(self):
+        with pytest.raises(SystemExit, match="non-negative"):
+            main(["run", "fig7-smoke", "--seed", "-3"])
+
+    def test_show_unknown_scenario_exits(self):
+        with pytest.raises(SystemExit, match="unknown scenario"):
+            main(["show", "does-not-exist"])
+
+    def test_run_spec_file(self, tmp_path, capsys):
+        from repro.spec import get_scenario
+
+        spec_path = tmp_path / "custom.json"
+        spec_path.write_text(json.dumps(get_scenario("fig7-smoke").to_dict()))
+        assert main(["run", str(spec_path)]) == 0
+        assert "fig7-smoke" in capsys.readouterr().out
+
+    def test_run_missing_spec_file_exits(self):
+        with pytest.raises(SystemExit, match="does not exist"):
+            main(["run", "no-such-spec.json"])
+
+    def test_run_json_export_parses_and_matches_legacy_fig7(self, tmp_path, capsys):
+        """Acceptance: `repro run fig7-quick --json` output parses and matches
+        the legacy `repro fig7` pipeline."""
+        from repro.experiments.config import Fig7Config
+        from repro.experiments.fig7_regret import run_fig7
+        from repro.spec import ExperimentResult
+
+        out_path = tmp_path / "result.json"
+        assert main(["run", "fig7-quick", "--json", str(out_path)]) == 0
+        capsys.readouterr()
+        envelope = ExperimentResult.from_json(out_path.read_text())
+        assert envelope.scenario == "fig7-quick"
+        legacy = run_fig7(Fig7Config.from_scenario("fig7-quick"))
+        for name in ("Algorithm2", "LLR"):
+            assert np.array_equal(
+                np.asarray(envelope.series[f"practical_regret[{name}]"]),
+                legacy.practical_regret[name],
+            )
+
+    def test_run_json_dash_prints_envelope(self, capsys):
+        assert main(["run", "fig7-smoke", "--json", "-"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro.scenario-result/v1"
+        assert payload["scenario"] == "fig7-smoke"
