@@ -188,14 +188,21 @@ class ChannelAccessSystem:
         replications: int = 1,
         jobs: int = 1,
         optimal_value: Optional[float] = None,
+        backend: Optional[str] = None,
+        first_replication: int = 0,
     ) -> BatchResult:
         """Run ``replications`` independent simulations of one policy.
 
-        ``policy_factory`` receives the replication index and must return a
-        fresh policy instance; each replication gets its own random stream
-        spawned from this system's seed, so the batch is reproducible and
-        replication 0 matches a sequential :meth:`simulate`-style run driven
-        by ``repro.sim.replication_rngs(seed, 1)[0]``.
+        ``policy_factory`` receives the global replication index and must
+        return a fresh policy instance; each replication gets its own random
+        stream spawned from this system's seed, so the batch is reproducible
+        and replication 0 matches a sequential :meth:`simulate`-style run
+        driven by ``repro.sim.replication_rngs(seed, 1)[0]``.
+
+        ``backend`` selects the executor (``serial`` / ``thread`` /
+        ``process``, see :mod:`repro.sim.backends`); ``first_replication``
+        shifts the seed-stream window so a one-replication batch reproduces
+        replication ``i`` of a larger batch bit for bit.
         """
         simulator = BatchSimulator(
             self.extended_graph,
@@ -208,7 +215,12 @@ class ChannelAccessSystem:
             seed=self._root_seq,
         )
         return simulator.run(
-            policy_factory, num_rounds, replications=replications, jobs=jobs
+            policy_factory,
+            num_rounds,
+            replications=replications,
+            jobs=jobs,
+            backend=backend,
+            first_replication=first_replication,
         )
 
     def simulate_periodic(

@@ -1,0 +1,254 @@
+"""Benchmark trajectory tooling: normalize, record, and gate benchmark runs.
+
+CI runs ``pytest benchmarks --benchmark-json`` and pipes the raw
+pytest-benchmark payload through this module::
+
+    python -m repro.benchtrend normalize --input raw.json \
+        --output BENCH_<sha>.json --sha <sha>
+    python -m repro.benchtrend check --baseline benchmarks/baseline.json \
+        --current BENCH_<sha>.json --max-ratio 2.0 --group solvers --group policies
+
+``normalize`` distills the raw payload into the stable ``repro.bench-trend/v1``
+schema (documented in ``docs/benchmarks.md``): one compact record per
+benchmark with its group, mean/median/stddev seconds and round count, plus
+enough machine context to interpret cross-machine comparisons.  The
+``BENCH_<sha>.json`` files are the project's recorded performance
+trajectory — one per commit, uploaded as a CI artifact.
+
+``check`` compares a current trajectory file against the committed baseline
+and exits non-zero when any benchmark in the gated groups slowed down by
+more than ``--max-ratio`` (the regression gate).  Benchmarks are grouped by
+their source file: ``benchmarks/test_bench_solvers.py`` -> group
+``solvers``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import re
+import sys
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "benchmark_group",
+    "normalize",
+    "check",
+    "main",
+]
+
+#: Schema identifier of every ``BENCH_<sha>.json`` trajectory file.
+BENCH_SCHEMA = "repro.bench-trend/v1"
+
+_GROUP_PATTERN = re.compile(r"test_bench_([a-z0-9_]+)\.py", re.IGNORECASE)
+
+
+class BenchTrendError(ValueError):
+    """A trajectory payload is malformed or the gate configuration is bad."""
+
+
+def benchmark_group(fullname: str) -> str:
+    """Group of a benchmark, derived from its source file name.
+
+    ``benchmarks/test_bench_solvers.py::test_exact_solver`` -> ``solvers``.
+    Files outside the naming convention fall into ``misc``.
+    """
+    match = _GROUP_PATTERN.search(fullname)
+    return match.group(1) if match else "misc"
+
+
+def normalize(raw: Dict, sha: str) -> Dict:
+    """Distill a raw pytest-benchmark payload into the BENCH schema."""
+    if not isinstance(raw, dict) or "benchmarks" not in raw:
+        raise BenchTrendError(
+            "input is not a pytest-benchmark payload (missing 'benchmarks')"
+        )
+    records = []
+    for bench in raw["benchmarks"]:
+        stats = bench.get("stats", {})
+        fullname = bench.get("fullname", bench.get("name", "?"))
+        records.append(
+            {
+                "name": bench.get("name", fullname),
+                "fullname": fullname,
+                "group": benchmark_group(fullname),
+                "mean_s": float(stats.get("mean", 0.0)),
+                "median_s": float(stats.get("median", 0.0)),
+                "stddev_s": float(stats.get("stddev", 0.0)),
+                "rounds": int(stats.get("rounds", 0)),
+            }
+        )
+    records.sort(key=lambda record: record["fullname"])
+    machine = raw.get("machine_info", {}) or {}
+    return {
+        "schema": BENCH_SCHEMA,
+        "sha": sha,
+        "machine": {
+            "python": machine.get("python_version", platform.python_version()),
+            "system": machine.get("system", platform.system()),
+            "processor": machine.get("processor", platform.processor()),
+        },
+        "benchmarks": records,
+    }
+
+
+def _load_trend(path: pathlib.Path) -> Dict:
+    try:
+        data = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise BenchTrendError(f"trajectory file {path} does not exist") from None
+    except json.JSONDecodeError as err:
+        raise BenchTrendError(f"trajectory file {path} is not valid JSON: {err}") from None
+    if data.get("schema") != BENCH_SCHEMA:
+        raise BenchTrendError(
+            f"trajectory file {path}: expected schema {BENCH_SCHEMA!r}, "
+            f"got {data.get('schema')!r}"
+        )
+    return data
+
+
+def check(
+    baseline: Dict,
+    current: Dict,
+    max_ratio: float,
+    groups: Optional[Sequence[str]] = None,
+) -> Tuple[bool, List[str]]:
+    """Gate ``current`` against ``baseline``.
+
+    Returns ``(ok, report_lines)``.  A benchmark fails the gate when it
+    slowed down by more than ``max_ratio`` versus the baseline; only
+    benchmarks whose group is in ``groups`` are gated (all when ``groups``
+    is falsy).  The compared statistic is the **median** (falling back to
+    the mean when a median is absent): microbenchmark means on shared CI
+    runners are dominated by scheduling-noise outliers, and the median
+    absorbs them while still moving by integer factors on real
+    regressions.  Benchmarks present in the baseline but missing from the
+    current run are reported as warnings, not failures, so retired
+    benchmarks do not wedge CI — refresh the baseline to silence them.
+    """
+    if max_ratio <= 1.0:
+        raise BenchTrendError(
+            f"--max-ratio must be > 1.0 (a slowdown factor), got {max_ratio}"
+        )
+    gated = set(groups) if groups else None
+    current_by_name = {
+        record["fullname"]: record for record in current["benchmarks"]
+    }
+    lines: List[str] = []
+    ok = True
+    compared = 0
+    for record in baseline["benchmarks"]:
+        if gated is not None and record["group"] not in gated:
+            continue
+        name = record["fullname"]
+        now = current_by_name.get(name)
+        if now is None:
+            lines.append(f"WARN  {name}: in baseline but missing from current run")
+            continue
+        base_value = record.get("median_s") or record["mean_s"]
+        if base_value <= 0:
+            lines.append(f"WARN  {name}: baseline timing is {base_value}; skipped")
+            continue
+        compared += 1
+        now_value = now.get("median_s") or now["mean_s"]
+        ratio = now_value / base_value
+        verdict = "FAIL" if ratio > max_ratio else "ok"
+        if ratio > max_ratio:
+            ok = False
+        lines.append(
+            f"{verdict:<5} {name}: median {base_value * 1e3:.3f}ms -> "
+            f"{now_value * 1e3:.3f}ms ({ratio:.2f}x, limit {max_ratio:.1f}x)"
+        )
+    if compared == 0:
+        ok = False
+        lines.append(
+            "FAIL  no benchmarks compared — gated groups "
+            f"{sorted(gated) if gated else '<all>'} matched nothing in the baseline"
+        )
+    return ok, lines
+
+
+def _cmd_normalize(args) -> int:
+    try:
+        raw = json.loads(pathlib.Path(args.input).read_text())
+        payload = normalize(raw, sha=args.sha)
+    except (OSError, json.JSONDecodeError, BenchTrendError) as err:
+        print(f"benchtrend: {err}", file=sys.stderr)
+        return 1
+    pathlib.Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(
+        f"wrote {args.output}: {len(payload['benchmarks'])} benchmark(s) "
+        f"at sha {args.sha}"
+    )
+    return 0
+
+
+def _cmd_check(args) -> int:
+    try:
+        baseline = _load_trend(pathlib.Path(args.baseline))
+        current = _load_trend(pathlib.Path(args.current))
+        ok, lines = check(
+            baseline, current, max_ratio=args.max_ratio, groups=args.groups
+        )
+    except BenchTrendError as err:
+        print(f"benchtrend: {err}", file=sys.stderr)
+        return 1
+    print("\n".join(lines))
+    if not ok:
+        print(
+            f"benchtrend: regression gate failed (>{args.max_ratio:.1f}x "
+            "slowdown vs benchmarks/baseline.json); if the slowdown is "
+            "intended, refresh the baseline in the same PR",
+            file=sys.stderr,
+        )
+        return 1
+    print("benchtrend: gate passed")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """``python -m repro.benchtrend`` entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro.benchtrend",
+        description="Normalize and gate pytest-benchmark trajectories "
+        "(schema: repro.bench-trend/v1, see docs/benchmarks.md).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    norm = sub.add_parser(
+        "normalize", help="raw pytest-benchmark JSON -> BENCH_<sha>.json"
+    )
+    norm.add_argument("--input", required=True, help="raw pytest-benchmark JSON")
+    norm.add_argument("--output", required=True, help="BENCH_<sha>.json to write")
+    norm.add_argument("--sha", required=True, help="commit sha to stamp")
+
+    gate = sub.add_parser(
+        "check", help="fail when gated benchmarks slowed past --max-ratio"
+    )
+    gate.add_argument("--baseline", required=True, help="committed baseline file")
+    gate.add_argument("--current", required=True, help="current BENCH_<sha>.json")
+    gate.add_argument(
+        "--max-ratio",
+        type=float,
+        default=2.0,
+        help="maximum tolerated mean slowdown factor (default: 2.0)",
+    )
+    gate.add_argument(
+        "--group",
+        action="append",
+        default=[],
+        dest="groups",
+        help="gate only this benchmark group (repeatable; default: all)",
+    )
+
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    if args.command == "normalize":
+        return _cmd_normalize(args)
+    return _cmd_check(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    sys.exit(main())

@@ -14,6 +14,19 @@ file, applies ``--set key=value`` dotted-path overrides, and can export the
 uniform result envelope (``repro.scenario-result/v1``) with ``--json``
 (``--json -`` prints the JSON instead of the text report).
 
+Multi-point studies go through the sweep engine (see ``docs/sweeps.md``)::
+
+    python -m repro sweep fig7-smoke --grid replication.replications=1,2 \
+                                     --backend process --jobs 4
+    python -m repro sweep fig6-paper-sweep        # built-in paper grid
+    python -m repro sweep --summarize             # what the store holds
+    python -m repro sweep --list-plans
+
+``sweep`` expands the grid into spec points, runs (point x replication)
+work units on the chosen backend, and serves every already-computed unit
+from the content-addressed store in ``--store`` (default ``.repro-store``),
+so re-running a sweep is free and interrupted sweeps resume.
+
 The legacy sub-commands remain as aliases that build specs internally::
 
     python -m repro fig6 [--paper]
@@ -52,6 +65,7 @@ from repro.experiments import (
     run_fig7,
     run_fig8,
 )
+from repro.sim.backends import BACKEND_NAMES
 from repro.spec import (
     ScenarioSpec,
     SpecError,
@@ -100,6 +114,84 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the result envelope as JSON to PATH ('-' prints JSON "
         "instead of the text report)",
+    )
+
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="run a parameter sweep (grid of scenarios) with a cached "
+        "results store",
+    )
+    sweep.add_argument(
+        "target",
+        nargs="?",
+        default=None,
+        help="built-in sweep plan name (see --list-plans), registered "
+        "scenario name, or path to a JSON spec file",
+    )
+    sweep.add_argument(
+        "--grid",
+        action="append",
+        default=[],
+        dest="grid",
+        metavar="PATH=V1,V2,...",
+        help="sweep a spec field over values by dotted path (repeatable; "
+        "e.g. --grid topology.num_vertices=10,20,40)",
+    )
+    sweep.add_argument(
+        "--set",
+        action="append",
+        default=[],
+        dest="overrides",
+        metavar="KEY=VALUE",
+        help="override a base-spec field before the grid is applied",
+    )
+    sweep.add_argument("--seed", type=int, default=None, help="override the base seed")
+    sweep.add_argument(
+        "--backend",
+        choices=list(BACKEND_NAMES),
+        default="serial",
+        help="execution backend for the work units (process = true multicore)",
+    )
+    sweep.add_argument(
+        "--jobs", type=int, default=1, help="worker count for the chosen backend"
+    )
+    sweep.add_argument(
+        "--store",
+        default=".repro-store",
+        metavar="DIR",
+        help="content-addressed results store directory (default: .repro-store)",
+    )
+    sweep.add_argument(
+        "--no-store",
+        action="store_true",
+        help="run without persistence (every unit recomputes)",
+    )
+    sweep.add_argument(
+        "--json",
+        dest="json_path",
+        default=None,
+        metavar="PATH",
+        help="write the sweep envelope (repro.sweep-result/v1) to PATH "
+        "('-' prints JSON instead of the text report)",
+    )
+    sweep.add_argument(
+        "--stats-json",
+        dest="stats_json_path",
+        default=None,
+        metavar="PATH",
+        help="write machine-readable run statistics (computed/cached unit "
+        "counts) to PATH",
+    )
+    sweep.add_argument(
+        "--summarize",
+        action="store_true",
+        help="without a target: summarize the store contents; with a "
+        "target: show the plan's cache status without running anything",
+    )
+    sweep.add_argument(
+        "--list-plans",
+        action="store_true",
+        help="list the built-in sweep plans and exit",
     )
 
     subparsers.add_parser("list", help="list the registered scenarios")
@@ -206,6 +298,107 @@ def _run_scenario_command(args) -> str:
     return format_result(result)
 
 
+def _resolve_sweep_plan(args):
+    """Build the sweep plan a ``repro sweep`` invocation describes."""
+    from repro.sweep import SweepPlan, builtin_plans, get_plan, parse_grid_items
+
+    if args.target in builtin_plans():
+        if args.grid or args.overrides or args.seed is not None:
+            raise SpecError(
+                f"sweep plan {args.target!r} is a built-in preset; "
+                "--grid/--set/--seed only apply when sweeping a scenario"
+            )
+        return get_plan(args.target)
+    base = _load_spec(args.target)
+    overrides = parse_set_items(args.overrides)
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    base = apply_overrides(base, overrides)
+    return SweepPlan.from_grid(
+        f"{base.name}-sweep", base, parse_grid_items(args.grid)
+    )
+
+
+def _sweep_status(plan, store) -> str:
+    """Cache status of a plan against a store, without running anything."""
+    from repro.reporting import render_table
+    from repro.sweep import plan_units
+
+    rows = []
+    total_cached = total_units = 0
+    for point in plan.points():
+        units = plan_units(point)
+        cached = sum(1 for unit in units if unit.hash in store)
+        total_cached += cached
+        total_units += len(units)
+        rows.append(
+            [
+                point.index,
+                point.label,
+                f"{cached}/{len(units)}",
+                "complete" if cached == len(units) else "pending",
+                point.hash[:12],
+            ]
+        )
+    header = (
+        f"sweep {plan.name} against {store.root}: "
+        f"{total_cached}/{total_units} unit(s) cached"
+    )
+    table = render_table(
+        ["point", "overrides", "cached", "status", "spec hash"], rows
+    )
+    return header + "\n\n" + table
+
+
+def _list_plans_text() -> str:
+    from repro.reporting import render_table
+    from repro.sweep import builtin_plans
+
+    rows = [
+        [plan.name, plan.num_points, plan.description]
+        for plan in builtin_plans().values()
+    ]
+    return render_table(["plan", "points", "description"], sorted(rows))
+
+
+def _run_sweep_command(args) -> str:
+    from repro.sweep import ResultStore, format_store_summary, format_sweep, run_sweep
+
+    if args.list_plans:
+        return _list_plans_text()
+    store = None if args.no_store else ResultStore(args.store)
+    if args.target is None:
+        if not args.summarize:
+            raise SpecError(
+                "sweep: give a scenario/plan to run, --summarize to inspect "
+                "the store, or --list-plans"
+            )
+        if store is None:
+            raise SpecError("sweep: --summarize needs a store (drop --no-store)")
+        return format_store_summary(store)
+    plan = _resolve_sweep_plan(args)
+    if args.summarize:
+        if store is None:
+            raise SpecError("sweep: --summarize needs a store (drop --no-store)")
+        return _sweep_status(plan, store)
+    try:
+        sweep = run_sweep(plan, store=store, backend=args.backend, jobs=args.jobs)
+    except ValueError as err:
+        # Backend/jobs validation errors are user errors, not crashes.
+        raise SpecError(str(err)) from None
+    if args.stats_json_path is not None:
+        pathlib.Path(args.stats_json_path).write_text(
+            json.dumps(sweep.stats(), indent=2) + "\n"
+        )
+    if args.json_path == "-":
+        return json.dumps(sweep.to_dict(), indent=2)
+    if args.json_path is not None:
+        pathlib.Path(args.json_path).write_text(
+            json.dumps(sweep.to_dict(), indent=2) + "\n"
+        )
+    return format_sweep(sweep)
+
+
 def _list_scenarios_command(_args) -> str:
     from repro.reporting import render_table
 
@@ -274,6 +467,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(list(argv) if argv is not None else None)
     handlers = {
         "run": _run_scenario_command,
+        "sweep": _run_sweep_command,
         "list": _list_scenarios_command,
         "show": _show_scenario_command,
         "fig6": _run_fig6,

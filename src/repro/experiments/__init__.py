@@ -12,6 +12,8 @@ Every table and figure of the paper has a module here:
   derived quantities (t_m, t_s, theta).
 * :mod:`repro.experiments.complexity` -- the complexity claims of Section IV-C
   (messages per vertex, storage, local-instance sizes) measured empirically.
+* :mod:`repro.experiments.sweeps` -- the figures' parameter grids as
+  declarative sweep plans (cached, resumable multi-point runs).
 
 Each module exposes a ``run_*`` function returning a structured result and a
 ``format_*`` function rendering the same text table/series the paper reports.
@@ -23,8 +25,11 @@ from repro.experiments.fig7_regret import Fig7Result, run_fig7, format_fig7
 from repro.experiments.fig8_periodic import Fig8Result, run_fig8, format_fig8
 from repro.experiments.table2 import table2_report, format_table2
 from repro.experiments.complexity import ComplexityResult, run_complexity, format_complexity
+from repro.experiments.sweeps import paper_sweep_plan, paper_sweep_plans
 
 __all__ = [
+    "paper_sweep_plan",
+    "paper_sweep_plans",
     "Fig6Config",
     "Fig7Config",
     "Fig8Config",

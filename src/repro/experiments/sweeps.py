@@ -1,0 +1,55 @@
+"""The paper's figure grids, exposed from the experiments layer.
+
+Historically each ``run_fig*`` function looped its own parameter grid
+in-process (``Fig6Config.sizes``, the Fig. 8 period list, hand-rolled
+replication loops).  The sweep engine supersedes those loops for
+multi-point studies: the same grids live in :mod:`repro.sweep.presets` as
+declarative :class:`~repro.sweep.plan.SweepPlan` objects, and this module
+is the experiments-facing entry point to them::
+
+    from repro.experiments import paper_sweep_plan, paper_sweep_plans
+    from repro.sweep import run_sweep
+
+    sweep = run_sweep(paper_sweep_plan("fig6"), store=".repro-store",
+                      backend="process", jobs=8)
+
+Unlike the legacy loops, sweep runs are content-addressed: re-running a
+figure's grid after an interruption (or after growing it) only computes the
+missing cells.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.spec.scenario import SpecError
+from repro.sweep.plan import SweepPlan
+from repro.sweep.presets import builtin_plans
+
+__all__ = ["paper_sweep_plan", "paper_sweep_plans"]
+
+#: Figure name -> built-in plan name.
+_FIGURE_PLANS = {
+    "fig6": "fig6-paper-sweep",
+    "fig7": "fig7-paper-sweep",
+    "fig8": "fig8-paper-sweep",
+}
+
+
+def paper_sweep_plans() -> Dict[str, SweepPlan]:
+    """All paper figure grids as sweep plans, keyed by figure name."""
+    plans = builtin_plans()
+    return {figure: plans[name] for figure, name in _FIGURE_PLANS.items()}
+
+
+def paper_sweep_plan(figure: str) -> SweepPlan:
+    """The sweep plan of one figure (``"fig6"`` / ``"fig7"`` / ``"fig8"``)."""
+    try:
+        name = _FIGURE_PLANS[figure]
+    except KeyError:
+        known: List[str] = sorted(_FIGURE_PLANS)
+        raise SpecError(
+            f"unknown figure {figure!r}; figures with sweep plans: "
+            f"{', '.join(known)}"
+        ) from None
+    return builtin_plans()[name]

@@ -5,6 +5,8 @@
 * :mod:`repro.sim.engine` -- the per-round simulator (Algorithm 2's outer loop).
 * :mod:`repro.sim.batch` -- seed-streamed batch runner for ``R`` independent
   replications of one policy.
+* :mod:`repro.sim.backends` -- pluggable serial / thread / process executors
+  shared by batches and parameter sweeps.
 * :mod:`repro.sim.periodic` -- periodic (stale-weight) update simulation of
   Section V-C.
 * :mod:`repro.sim.results` -- result containers.
@@ -13,6 +15,15 @@
 
 from repro.sim.timing import TimingConfig
 from repro.sim.engine import Simulator
+from repro.sim.backends import (
+    BACKEND_NAMES,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    ensure_picklable,
+    resolve_backend,
+)
 from repro.sim.batch import BatchResult, BatchSimulator, replication_rngs
 from repro.sim.periodic import PeriodicSimulator, PeriodRecord, PeriodicResult
 from repro.sim.results import RoundRecord, SimulationResult
@@ -21,6 +32,13 @@ from repro.sim.metrics import running_average, summarize_trace
 __all__ = [
     "TimingConfig",
     "Simulator",
+    "BACKEND_NAMES",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "ensure_picklable",
+    "resolve_backend",
     "BatchResult",
     "BatchSimulator",
     "replication_rngs",

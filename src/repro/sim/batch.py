@@ -16,15 +16,20 @@ run bit for bit when the simulator is handed the matching spawned stream
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Union
 
 import numpy as np
 
 from repro.channels.state import ChannelState
 from repro.core.policies import Policy
 from repro.graph.extended import ExtendedConflictGraph
+from repro.sim.backends import (
+    ExecutionBackend,
+    ProcessBackend,
+    ensure_picklable,
+    resolve_backend,
+)
 from repro.sim.engine import Simulator
 from repro.sim.results import SimulationResult
 from repro.sim.timing import TimingConfig
@@ -72,7 +77,7 @@ def child_seed_sequences(
 
 
 def replication_rngs(
-    seed: Optional[int], replications: int
+    seed: Optional[int], replications: int, first: int = 0
 ) -> List[np.random.Generator]:
     """Independent generator streams, one per replication.
 
@@ -85,12 +90,16 @@ def replication_rngs(
 
         rng = replication_rngs(seed, replications=1)[0]
         trace = Simulator(graph, channels, rng=rng).run(policy, n)
+
+    ``first`` shifts the window: ``replication_rngs(seed, 1, first=i)[0]``
+    is exactly the stream replication ``i`` of a larger batch would see,
+    which is how sweep work units re-run a single replication in isolation.
     """
     if replications <= 0:
         raise ValueError(f"replications must be positive, got {replications}")
     return [
         np.random.default_rng(child)
-        for child in child_seed_sequences(seed, replications)
+        for child in child_seed_sequences(seed, replications, first=first)
     ]
 
 
@@ -211,43 +220,113 @@ class BatchSimulator:
         num_rounds: int,
         replications: int = 1,
         jobs: int = 1,
+        backend: Union[str, ExecutionBackend, None] = None,
+        first_replication: int = 0,
     ) -> BatchResult:
         """Run ``replications`` independent simulations of ``num_rounds`` each.
 
-        ``policy_factory`` is called with the replication index and must
-        return a fresh policy every time.  ``jobs > 1`` runs replications on
-        a thread pool; results are always ordered by replication index and
-        are identical to a serial run because each replication owns its
-        spawned stream and policy.  (The round loop is pure Python, so the
-        GIL bounds the speedup threads can deliver; the flag mainly keeps
-        the API ready for free-threaded / process-based execution.)
+        ``policy_factory`` is called with the **global** replication index
+        (``first_replication + i``) and must return a fresh policy every
+        time.  Results are always ordered by replication index and are
+        bit-identical across backends because each replication owns its
+        spawned stream and policy.
+
+        ``backend`` picks the executor (see :mod:`repro.sim.backends`):
+        ``"serial"``, ``"thread"`` (the historical ``jobs > 1`` behaviour
+        and the default — GIL-bound for the pure-Python round loop) or
+        ``"process"`` for true multicore.  The process backend pickles the
+        work, so the policy factory must be a module-level callable — this
+        is validated eagerly with an error naming the factory instead of an
+        opaque worker-time crash.  The built-in policies
+        (:class:`~repro.core.policies.CombinatorialUCBPolicy`,
+        :class:`~repro.core.policies.LLRPolicy`,
+        :class:`~repro.core.policies.OraclePolicy`) are process-safe; only
+        the *factory* needs to be importable.
+
+        ``first_replication`` shifts the seed-stream window so a batch of
+        one can reproduce replication ``i`` of a larger batch exactly (the
+        sweep layer's per-replication work units).
         """
         if num_rounds <= 0:
             raise ValueError(f"num_rounds must be positive, got {num_rounds}")
+        if replications <= 0:
+            raise ValueError(f"replications must be positive, got {replications}")
         if jobs <= 0:
             raise ValueError(f"jobs must be positive, got {jobs}")
+        if first_replication < 0:
+            raise ValueError(
+                f"first_replication must be non-negative, got {first_replication}"
+            )
         if replications > 1 and self._channels.has_stateful_models:
             raise ValueError(
                 "the channel state contains stateful models (e.g. "
                 "Gilbert-Elliott); sharing them across replications would "
                 "couple the runs, so batches require i.i.d. channel models"
             )
-        rngs = replication_rngs(self._seed, replications)
-
-        def run_one(index: int) -> SimulationResult:
-            policy = policy_factory(index)
-            simulator = Simulator(
-                self._graph,
-                self._channels,
-                timing=self._timing,
-                optimal_value=self._optimal_value,
-                rng=rngs[index],
+        executor = resolve_backend(
+            backend, default="thread" if jobs > 1 else "serial"
+        )
+        children = child_seed_sequences(
+            self._seed, replications, first=first_replication
+        )
+        indices = range(first_replication, first_replication + replications)
+        if isinstance(executor, ProcessBackend):
+            ensure_picklable(
+                policy_factory, f"the policy factory {policy_factory!r}"
             )
-            return simulator.run(policy, num_rounds)
-
-        if jobs == 1 or replications == 1:
-            results = [run_one(index) for index in range(replications)]
+            payloads = [
+                (
+                    self._graph,
+                    self._channels,
+                    self._timing,
+                    self._optimal_value,
+                    child,
+                    policy_factory,
+                    index,
+                    num_rounds,
+                )
+                for child, index in zip(children, indices)
+            ]
+            results = executor.map(_run_replication_payload, payloads, jobs)
         else:
-            with ThreadPoolExecutor(max_workers=min(jobs, replications)) as pool:
-                results = list(pool.map(run_one, range(replications)))
+
+            def run_one(index: int) -> SimulationResult:
+                policy = policy_factory(index)
+                simulator = Simulator(
+                    self._graph,
+                    self._channels,
+                    timing=self._timing,
+                    optimal_value=self._optimal_value,
+                    rng=np.random.default_rng(children[index - first_replication]),
+                )
+                return simulator.run(policy, num_rounds)
+
+            results = executor.map(run_one, list(indices), jobs)
         return BatchResult(policy_name=results[0].policy_name, results=results)
+
+
+def _run_replication_payload(payload) -> SimulationResult:
+    """Process-pool work unit: one replication, rebuilt from a pickled payload.
+
+    Module-level (not a closure) so it can cross process boundaries under
+    any multiprocessing start method.
+    """
+    (
+        graph,
+        channels,
+        timing,
+        optimal_value,
+        child,
+        policy_factory,
+        index,
+        num_rounds,
+    ) = payload
+    policy = policy_factory(index)
+    simulator = Simulator(
+        graph,
+        channels,
+        timing=timing,
+        optimal_value=optimal_value,
+        rng=np.random.default_rng(child),
+    )
+    return simulator.run(policy, num_rounds)

@@ -8,8 +8,18 @@
 * :mod:`repro.spec.registry` -- named presets of the paper's setups plus
   user registration.
 * :mod:`repro.spec.overrides` -- dotted-path ``--set key=value`` overrides.
+* :mod:`repro.spec.canon` -- canonical JSON + content hashing of specs and
+  sweep work units (the result-store keys).
 """
 
+from repro.spec.canon import (
+    canonical_json,
+    canonical_spec,
+    canonical_spec_dict,
+    spec_hash,
+    unit_hash,
+    unit_key,
+)
 from repro.spec.overrides import apply_overrides, parse_set_items
 from repro.spec.registry import (
     ScenarioRegistry,
@@ -22,7 +32,9 @@ from repro.spec.runner import (
     RESULT_SCHEMA,
     ExperimentResult,
     format_result,
+    merge_replication_results,
     run_scenario,
+    run_scenario_replication,
 )
 from repro.spec.scenario import (
     ChannelSpec,
@@ -50,7 +62,15 @@ __all__ = [
     "ExperimentResult",
     "RESULT_SCHEMA",
     "run_scenario",
+    "run_scenario_replication",
+    "merge_replication_results",
     "format_result",
     "apply_overrides",
     "parse_set_items",
+    "canonical_json",
+    "canonical_spec",
+    "canonical_spec_dict",
+    "spec_hash",
+    "unit_hash",
+    "unit_key",
 ]

@@ -1,0 +1,115 @@
+"""Canonical serialization and content hashing of scenario specs.
+
+The sweep layer stores every simulation result under a key derived from the
+*content* of the work it describes, so two invocations that mean the same
+experiment — regardless of flag order, registry name lookups or how many
+worker processes ran them — land on the same store entry.  The key is the
+SHA-256 of a canonical JSON form: sorted keys, compact separators, no NaN.
+
+Two normalizations keep the identity honest:
+
+* ``replication.jobs`` never changes what a run computes (only how it is
+  scheduled), so it is forced to ``1`` before hashing.
+* A *unit* — one replication of a per-round scenario — is hashed with
+  ``replication.replications`` forced to ``1`` plus the global replication
+  index, so replication 0 of an ``R=1`` run and replication 0 of an ``R=8``
+  run are literally the same stored object (grids over the replication
+  count resume each other for free).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import replace
+from typing import Dict, Optional
+
+from repro.spec.scenario import ScenarioSpec
+
+__all__ = [
+    "UNIT_SCHEMA",
+    "ENGINE_VERSION",
+    "canonical_json",
+    "canonical_spec",
+    "canonical_spec_dict",
+    "spec_hash",
+    "unit_key",
+    "unit_hash",
+]
+
+#: Schema identifier embedded in every unit key (and therefore every hash).
+UNIT_SCHEMA = "repro.sweep-unit/v1"
+
+#: Simulation-semantics version, embedded in every unit key.  Bump this
+#: whenever a change alters what a spec *computes* (simulator round loop,
+#: policy update rules, rng stream derivation, solver tie-breaking, ...) —
+#: every store entry hashed under the old version then becomes a miss, so
+#: stale results can never be served as current ones.  Pure refactors,
+#: speedups and new features that leave existing outputs bit-identical must
+#: NOT bump it, or stores lose their resume value for no reason.
+ENGINE_VERSION = 1
+
+
+def canonical_json(data) -> str:
+    """Deterministic JSON: sorted keys, compact separators, finite numbers.
+
+    ``allow_nan=False`` makes non-finite floats a hard error instead of the
+    non-standard ``NaN`` token, which would silently produce unparseable
+    store entries.
+    """
+    return json.dumps(data, sort_keys=True, separators=(",", ":"), allow_nan=False)
+
+
+def canonical_spec(
+    spec: ScenarioSpec, *, single_replication: bool = False
+) -> ScenarioSpec:
+    """The execution-invariant form of ``spec`` used for content addressing.
+
+    ``jobs`` is always normalized to 1; ``single_replication=True``
+    additionally pins ``replications`` to 1 (the per-replication unit form).
+    """
+    replication = replace(
+        spec.replication,
+        jobs=1,
+        replications=1 if single_replication else spec.replication.replications,
+    )
+    return replace(spec, replication=replication)
+
+
+def canonical_spec_dict(
+    spec: ScenarioSpec, *, single_replication: bool = False
+) -> Dict[str, object]:
+    """``canonical_spec(...).to_dict()`` (the hashed payload)."""
+    return canonical_spec(spec, single_replication=single_replication).to_dict()
+
+
+def _sha256(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def spec_hash(spec: ScenarioSpec) -> str:
+    """Content hash of a whole scenario (jobs-normalized)."""
+    return _sha256(canonical_json(canonical_spec_dict(spec)))
+
+
+def unit_key(spec: ScenarioSpec, replication: Optional[int]) -> Dict[str, object]:
+    """The canonical key object of one work unit.
+
+    ``replication=None`` means the unit is the whole scenario run (periodic
+    and protocol schedules execute as one unit); an integer means "global
+    replication ``i`` of a per-round scenario", hashed against the
+    single-replication spec form.
+    """
+    if replication is not None and replication < 0:
+        raise ValueError(f"replication must be non-negative, got {replication}")
+    return {
+        "schema": UNIT_SCHEMA,
+        "engine": ENGINE_VERSION,
+        "spec": canonical_spec_dict(spec, single_replication=replication is not None),
+        "replication": replication,
+    }
+
+
+def unit_hash(spec: ScenarioSpec, replication: Optional[int]) -> str:
+    """Content hash of one work unit (the store key)."""
+    return _sha256(canonical_json(unit_key(spec, replication)))

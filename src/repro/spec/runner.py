@@ -28,7 +28,14 @@ from repro.sim.batch import child_seed_sequences
 from repro.sim.timing import TimingConfig
 from repro.spec.scenario import ScenarioSpec, SpecError
 
-__all__ = ["ExperimentResult", "run_scenario", "format_result", "RESULT_SCHEMA"]
+__all__ = [
+    "ExperimentResult",
+    "run_scenario",
+    "run_scenario_replication",
+    "merge_replication_results",
+    "format_result",
+    "RESULT_SCHEMA",
+]
 
 #: Schema identifier embedded in every serialized result.
 RESULT_SCHEMA = "repro.scenario-result/v1"
@@ -184,8 +191,49 @@ def run_scenario(spec: ScenarioSpec) -> ExperimentResult:
     return result
 
 
-def _run_per_round(spec: ScenarioSpec) -> ExperimentResult:
-    """Fig. 7 regime: per-slot decisions through ``simulate_batch``."""
+def _per_round_policy_series(
+    result: ExperimentResult,
+    label: str,
+    expected_matrix: np.ndarray,
+    theta: float,
+    optimal_value,
+    alpha: float,
+) -> None:
+    """Fill one policy's per-round series from its ``(R, T)`` reward matrix.
+
+    Shared by the direct runner and the sweep layer's replication merge so a
+    merged envelope is bit-identical to a single-process run.
+    """
+    result.replication_series[f"expected_reward[{label}]"] = [
+        row.tolist() for row in expected_matrix
+    ]
+    expected = expected_matrix.mean(axis=0)
+    effective = theta * expected
+    result.series[f"expected_reward[{label}]"] = expected.tolist()
+    result.series[f"effective_throughput[{label}]"] = effective.tolist()
+    if optimal_value is not None:
+        practical = optimal_value - effective
+        benchmark = theta * optimal_value / alpha
+        result.series[f"practical_regret[{label}]"] = practical.tolist()
+        result.series[f"beta_regret[{label}]"] = (benchmark - effective).tolist()
+        result.series[f"cumulative_practical_regret[{label}]"] = np.cumsum(
+            practical
+        ).tolist()
+
+
+def _run_per_round(
+    spec: ScenarioSpec,
+    replications: "int | None" = None,
+    first_replication: int = 0,
+) -> ExperimentResult:
+    """Fig. 7 regime: per-slot decisions through ``simulate_batch``.
+
+    ``replications``/``first_replication`` narrow the run to a window of the
+    spec's replication streams (the sweep layer runs one replication per
+    work unit); the default runs the spec's full replication plan.
+    """
+    if replications is None:
+        replications = spec.replication.replications
     system, factories = spec.build()
     optimal_value = system.optimal_value() if spec.compute_optimal else None
     theta = system.timing.theta
@@ -194,7 +242,7 @@ def _run_per_round(spec: ScenarioSpec) -> ExperimentResult:
     )
     result.summary["theta"] = float(theta)
     result.summary["alpha"] = float(spec.alpha)
-    result.summary["replications"] = float(spec.replication.replications)
+    result.summary["replications"] = float(replications)
     if optimal_value is not None:
         result.summary["optimal_value"] = float(optimal_value)
         result.summary["theorem1_bound"] = float(
@@ -211,33 +259,111 @@ def _run_per_round(spec: ScenarioSpec) -> ExperimentResult:
         batch = system.simulate_batch(
             lambda index: factory(),
             num_rounds=spec.schedule.num_rounds,
-            replications=spec.replication.replications,
+            replications=replications,
             jobs=spec.replication.jobs,
             optimal_value=optimal_value,
+            first_replication=first_replication,
         )
         batches[label] = batch
         simulated_wall_clock += batch.total_wall_clock()
-        expected_matrix = batch.expected_reward_matrix()
-        result.replication_series[f"expected_reward[{label}]"] = [
-            row.tolist() for row in expected_matrix
-        ]
-        expected = expected_matrix.mean(axis=0)
-        effective = theta * expected
-        result.series[f"expected_reward[{label}]"] = expected.tolist()
-        result.series[f"effective_throughput[{label}]"] = effective.tolist()
-        if optimal_value is not None:
-            practical = optimal_value - effective
-            benchmark = theta * optimal_value / spec.alpha
-            result.series[f"practical_regret[{label}]"] = practical.tolist()
-            result.series[f"beta_regret[{label}]"] = (benchmark - effective).tolist()
-            result.series[f"cumulative_practical_regret[{label}]"] = np.cumsum(
-                practical
-            ).tolist()
+        _per_round_policy_series(
+            result,
+            label,
+            batch.expected_reward_matrix(),
+            theta,
+            optimal_value,
+            spec.alpha,
+        )
     result.summary["simulated_wall_clock_s"] = simulated_wall_clock
     result.artifacts["system"] = system
     result.artifacts["batches"] = batches
     result.artifacts["optimal_value"] = optimal_value
     return result
+
+
+def run_scenario_replication(
+    spec: ScenarioSpec, replication_index: int
+) -> ExperimentResult:
+    """Run exactly one replication of a per-round scenario.
+
+    The replication consumes the same seed stream it would inside the full
+    ``R``-replication run (stream ``replication_index`` spawned from the
+    scenario seed), so its trace is bit-identical to the corresponding row
+    of :func:`run_scenario` — this is the sweep layer's work unit.  Only
+    per-round schedules shard to replication granularity; periodic and
+    protocol scenarios execute as whole-scenario units.
+    """
+    spec.validate(spec.name)
+    if spec.schedule.mode != "per-round":
+        raise SpecError(
+            f"{spec.name}: run_scenario_replication only supports per-round "
+            f"schedules (got {spec.schedule.mode!r}); run the whole scenario "
+            "instead"
+        )
+    if replication_index < 0:
+        raise SpecError(
+            f"{spec.name}: replication_index must be non-negative, "
+            f"got {replication_index}"
+        )
+    started_at = time.perf_counter()
+    result = _run_per_round(
+        spec, replications=1, first_replication=replication_index
+    )
+    result.wall_clock_s = time.perf_counter() - started_at
+    return result
+
+
+def merge_replication_results(
+    spec: ScenarioSpec, results: List["ExperimentResult"]
+) -> ExperimentResult:
+    """Stitch single-replication envelopes back into one scenario envelope.
+
+    ``results`` must hold one per-round envelope per replication, ordered by
+    replication index.  The merged series are recomputed with the same
+    numpy expressions the direct runner uses, so every deterministic field
+    (series, replication series, summary minus wall clocks) is bit-identical
+    to ``run_scenario(spec)``; wall clocks are summed.
+    """
+    if not results:
+        raise SpecError(f"{spec.name}: cannot merge zero replication results")
+    if spec.schedule.mode != "per-round":
+        raise SpecError(
+            f"{spec.name}: merge_replication_results only supports per-round "
+            f"schedules (got {spec.schedule.mode!r})"
+        )
+    base = results[0]
+    merged = ExperimentResult(
+        scenario=spec.name, mode="per-round", spec=spec.to_dict()
+    )
+    merged.summary = dict(base.summary)
+    merged.summary["replications"] = float(len(results))
+    merged.summary["simulated_wall_clock_s"] = float(
+        sum(r.summary.get("simulated_wall_clock_s", 0.0) for r in results)
+    )
+    theta = base.summary["theta"]
+    alpha = base.summary["alpha"]
+    optimal_value = base.summary.get("optimal_value")
+    for policy in spec.policies:
+        label = policy.display_label
+        key = f"expected_reward[{label}]"
+        rows = []
+        for index, result in enumerate(results):
+            if key not in result.replication_series:
+                raise SpecError(
+                    f"{spec.name}: replication {index} is missing the "
+                    f"{key!r} series; cannot merge"
+                )
+            rows.extend(result.replication_series[key])
+        _per_round_policy_series(
+            merged,
+            label,
+            np.asarray(rows, dtype=float),
+            theta,
+            optimal_value,
+            alpha,
+        )
+    merged.wall_clock_s = float(sum(r.wall_clock_s for r in results))
+    return merged
 
 
 def _replication_seeds(root_seed: int, replications: int) -> List[object]:

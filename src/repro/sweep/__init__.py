@@ -1,0 +1,75 @@
+"""Parameter sweeps: grids of scenarios, executed as fleets of cached runs.
+
+* :mod:`repro.sweep.plan` -- :class:`SweepPlan`: a base
+  :class:`~repro.spec.scenario.ScenarioSpec` crossed with dotted-path value
+  grids, deterministically expanded into :class:`SweepPoint` specs.
+* :mod:`repro.sweep.store` -- :class:`ResultStore`: a content-addressed
+  on-disk store of result envelopes keyed by canonical spec+seed hashes.
+* :mod:`repro.sweep.engine` -- :func:`run_sweep`: (point x replication)
+  work units on serial / thread / process backends, resuming completed
+  units from the store.
+* :mod:`repro.sweep.presets` -- the paper's Fig. 6/7/8 grids as named plans.
+
+Quick start::
+
+    from repro.spec import get_scenario
+    from repro.sweep import SweepPlan, run_sweep
+
+    plan = SweepPlan.from_grid(
+        "size-study", get_scenario("fig7-quick"),
+        {"topology.num_nodes": [8, 12, 16]},
+    )
+    sweep = run_sweep(plan, store=".repro-store", backend="process", jobs=4)
+    for outcome in sweep.outcomes:
+        print(outcome.point.label, outcome.status)
+
+The same study from the shell::
+
+    repro sweep fig7-quick --grid topology.num_nodes=8,12,16 \
+        --backend process --jobs 4
+"""
+
+from repro.sweep.engine import (
+    SWEEP_SCHEMA,
+    PointOutcome,
+    SweepResult,
+    SweepUnit,
+    format_store_summary,
+    format_sweep,
+    plan_units,
+    run_sweep,
+)
+from repro.sweep.plan import (
+    SweepAxis,
+    SweepPlan,
+    SweepPoint,
+    parse_grid_items,
+    split_grid_values,
+)
+from repro.sweep.presets import builtin_plans, get_plan, list_plans
+from repro.sweep.store import ENTRY_SCHEMA, STORE_SCHEMA, ResultStore, StoreError
+from repro.sweep.worker import execute_unit
+
+__all__ = [
+    "SweepAxis",
+    "SweepPlan",
+    "SweepPoint",
+    "parse_grid_items",
+    "split_grid_values",
+    "ResultStore",
+    "StoreError",
+    "STORE_SCHEMA",
+    "ENTRY_SCHEMA",
+    "SWEEP_SCHEMA",
+    "SweepUnit",
+    "PointOutcome",
+    "SweepResult",
+    "plan_units",
+    "run_sweep",
+    "format_sweep",
+    "format_store_summary",
+    "execute_unit",
+    "builtin_plans",
+    "get_plan",
+    "list_plans",
+]

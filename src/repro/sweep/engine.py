@@ -1,0 +1,362 @@
+"""The sweep engine: expand a plan, execute its units, resume from the store.
+
+Execution model
+---------------
+Every grid point decomposes into *work units*:
+
+* per-round scenarios shard into one unit per replication (the unit key
+  normalizes ``replication.replications`` to 1, so a grid over the
+  replication count shares units between points);
+* periodic and protocol scenarios execute as one whole-scenario unit.
+
+Units are deduplicated by content hash, looked up in the
+:class:`~repro.sweep.store.ResultStore`, and only the misses are executed —
+on a pluggable backend (:mod:`repro.sim.backends`): serial, thread, or a
+:class:`~concurrent.futures.ProcessPoolExecutor` for true multicore.  Every
+computed unit is written back to the store, so an interrupted sweep resumes
+where it stopped and an identical re-run performs zero simulation work.
+
+Point envelopes are reassembled from their units with
+:func:`repro.spec.runner.merge_replication_results`, which is bit-identical
+to running the point directly — the backend choice never changes results.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from repro.reporting import render_table
+from repro.sim.backends import ExecutionBackend, resolve_backend
+from repro.spec.canon import canonical_spec, unit_hash, unit_key
+from repro.spec.runner import ExperimentResult, merge_replication_results
+from repro.spec.scenario import ScenarioSpec, SpecError
+from repro.sweep.plan import SweepPlan, SweepPoint
+from repro.sweep.store import ResultStore
+from repro.sweep.worker import execute_unit
+
+__all__ = [
+    "SweepUnit",
+    "PointOutcome",
+    "SweepResult",
+    "plan_units",
+    "run_sweep",
+    "format_sweep",
+    "format_store_summary",
+    "SWEEP_SCHEMA",
+]
+
+#: Schema identifier of the serialized sweep envelope.
+SWEEP_SCHEMA = "repro.sweep-result/v1"
+
+
+@dataclass(frozen=True)
+class SweepUnit:
+    """One executable work unit of a sweep point."""
+
+    point_index: int
+    #: Global replication index for per-round shards, ``None`` for whole runs.
+    replication: Optional[int]
+    #: The normalized spec the unit actually runs (what the hash describes).
+    spec: ScenarioSpec
+    hash: str
+
+    def payload(self):
+        """The picklable payload handed to :func:`repro.sweep.worker.execute_unit`."""
+        return (self.spec.to_dict(), self.replication)
+
+
+def plan_units(point: SweepPoint) -> List[SweepUnit]:
+    """Decompose one grid point into its work units (see module docstring)."""
+    spec = point.spec
+    if spec.schedule.mode == "per-round":
+        normalized = canonical_spec(spec, single_replication=True)
+        return [
+            SweepUnit(
+                point_index=point.index,
+                replication=index,
+                spec=normalized,
+                hash=unit_hash(spec, index),
+            )
+            for index in range(spec.replication.replications)
+        ]
+    normalized = canonical_spec(spec)
+    return [
+        SweepUnit(
+            point_index=point.index,
+            replication=None,
+            spec=normalized,
+            hash=unit_hash(spec, None),
+        )
+    ]
+
+
+@dataclass
+class PointOutcome:
+    """One grid point's result plus how its units were satisfied."""
+
+    point: SweepPoint
+    result: ExperimentResult
+    unit_hashes: List[str]
+    cached_units: int
+    computed_units: int
+
+    @property
+    def status(self) -> str:
+        """``cached`` / ``computed`` / ``mixed``."""
+        if self.computed_units == 0:
+            return "cached"
+        if self.cached_units == 0:
+            return "computed"
+        return "mixed"
+
+
+@dataclass
+class SweepResult:
+    """Everything one :func:`run_sweep` call produced."""
+
+    plan: SweepPlan
+    outcomes: List[PointOutcome] = field(default_factory=list)
+    backend: str = "serial"
+    jobs: int = 1
+    #: Unique units executed this run / served from the store.
+    computed_units: int = 0
+    cached_units: int = 0
+    #: Store entries that failed validation and were recomputed.
+    corrupt_units: int = 0
+    wall_clock_s: float = 0.0
+
+    @property
+    def num_points(self) -> int:
+        """Number of grid points."""
+        return len(self.outcomes)
+
+    @property
+    def total_units(self) -> int:
+        """Unit references across all points (shared units counted per point)."""
+        return sum(len(outcome.unit_hashes) for outcome in self.outcomes)
+
+    @property
+    def unique_units(self) -> int:
+        """Distinct work units after content-hash deduplication."""
+        return self.computed_units + self.cached_units
+
+    def stats(self) -> Dict[str, object]:
+        """Machine-readable run statistics (the CLI's ``--stats-json``)."""
+        return {
+            "plan": self.plan.name,
+            "backend": self.backend,
+            "jobs": self.jobs,
+            "points": self.num_points,
+            "total_units": self.total_units,
+            "unique_units": self.unique_units,
+            "computed": self.computed_units,
+            "cached": self.cached_units,
+            "corrupt": self.corrupt_units,
+            "wall_clock_s": self.wall_clock_s,
+        }
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready sweep envelope (``repro.sweep-result/v1``)."""
+        return {
+            "schema": SWEEP_SCHEMA,
+            "plan": self.plan.to_dict(),
+            "stats": self.stats(),
+            "points": [
+                {
+                    "index": outcome.point.index,
+                    "overrides": [
+                        [path, value] for path, value in outcome.point.overrides
+                    ],
+                    "status": outcome.status,
+                    "unit_hashes": list(outcome.unit_hashes),
+                    "result": outcome.result.to_dict(),
+                }
+                for outcome in self.outcomes
+            ],
+        }
+
+
+def run_sweep(
+    plan: SweepPlan,
+    store: Union[ResultStore, str, None] = None,
+    backend: Union[str, ExecutionBackend, None] = None,
+    jobs: int = 1,
+) -> SweepResult:
+    """Execute a sweep plan, resuming completed units from the store.
+
+    ``store=None`` runs without persistence (every unit recomputes).
+    Returns a :class:`SweepResult` whose point envelopes are bit-identical
+    across backends and to direct :func:`~repro.spec.runner.run_scenario`
+    calls on the same specs.
+    """
+    if jobs <= 0:
+        raise SpecError(f"sweep: jobs must be positive, got {jobs}")
+    if store is not None and not isinstance(store, ResultStore):
+        store = ResultStore(store)
+    executor = resolve_backend(backend, default="serial")
+    started_at = time.perf_counter()
+
+    points = plan.points()
+    units_by_point: Dict[int, List[SweepUnit]] = {
+        point.index: plan_units(point) for point in points
+    }
+    # Deduplicate by content hash: a grid over the replication count (or
+    # repeated points) shares units, which must compute exactly once.
+    unique: Dict[str, SweepUnit] = {}
+    for units in units_by_point.values():
+        for unit in units:
+            unique.setdefault(unit.hash, unit)
+
+    results: Dict[str, Dict[str, object]] = {}
+    corrupt = 0
+    misses: List[SweepUnit] = []
+    for key_hash, unit in unique.items():
+        if store is not None:
+            if key_hash in store:
+                cached = store.load(key_hash, strict=False)
+                if cached is not None:
+                    results[key_hash] = cached
+                    continue
+                corrupt += 1  # present but invalid: recompute and overwrite
+            misses.append(unit)
+        else:
+            misses.append(unit)
+
+    if misses:
+        payloads = [unit.payload() for unit in misses]
+        computed = executor.map(execute_unit, payloads, jobs)
+        for unit, result_dict in zip(misses, computed):
+            results[unit.hash] = result_dict
+            if store is not None:
+                store.put(
+                    unit.hash, unit_key(unit.spec, unit.replication), result_dict
+                )
+
+    computed_hashes = {unit.hash for unit in misses}
+    outcomes: List[PointOutcome] = []
+    for point in points:
+        units = units_by_point[point.index]
+        hashes = [unit.hash for unit in units]
+        unit_results = [
+            ExperimentResult.from_dict(results[key_hash]) for key_hash in hashes
+        ]
+        merged = _assemble_point(point, units, unit_results)
+        outcomes.append(
+            PointOutcome(
+                point=point,
+                result=merged,
+                unit_hashes=hashes,
+                cached_units=sum(1 for h in hashes if h not in computed_hashes),
+                computed_units=sum(1 for h in hashes if h in computed_hashes),
+            )
+        )
+
+    return SweepResult(
+        plan=plan,
+        outcomes=outcomes,
+        backend=executor.name,
+        jobs=jobs,
+        computed_units=len(computed_hashes),
+        cached_units=len(unique) - len(computed_hashes),
+        corrupt_units=corrupt,
+        wall_clock_s=time.perf_counter() - started_at,
+    )
+
+
+def _assemble_point(
+    point: SweepPoint, units: List[SweepUnit], unit_results: List[ExperimentResult]
+) -> ExperimentResult:
+    """Rebuild one point's scenario envelope from its unit envelopes."""
+    if units[0].replication is None:
+        result = unit_results[0]
+        # Echo the point's actual spec (the unit form normalizes jobs).
+        result.spec = point.spec.to_dict()
+        result.scenario = point.spec.name
+        return result
+    return merge_replication_results(point.spec, unit_results)
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def _headline(result: ExperimentResult) -> str:
+    """A one-cell summary of a point result, mode-appropriate."""
+    if result.mode == "per-round":
+        finals = [
+            f"{name.split('[', 1)[1].rstrip(']')}={values[-1]:.1f}"
+            for name, values in sorted(result.series.items())
+            if name.startswith("effective_throughput[") and values
+        ]
+        return "final eff. throughput " + ", ".join(finals) if finals else "-"
+    if result.mode == "protocol":
+        cells = len(result.records)
+        return f"{cells} network cell(s)"
+    if result.mode == "periodic":
+        cells = sorted(
+            result.records.items(), key=lambda kv: kv[1].get("period", 0)
+        )
+        return f"periods {', '.join(name for name, _ in cells)}"
+    return "-"
+
+
+def format_sweep(sweep: SweepResult) -> str:
+    """Render a sweep outcome as diffable text (the CLI report)."""
+    stats = sweep.stats()
+    header = (
+        f"sweep {sweep.plan.name}: {stats['points']} point(s), "
+        f"{stats['unique_units']} unique unit(s) "
+        f"({stats['computed']} computed, {stats['cached']} cached"
+        + (f", {stats['corrupt']} corrupt recomputed" if stats["corrupt"] else "")
+        + f") backend={stats['backend']} jobs={stats['jobs']} "
+        f"wall_clock={stats['wall_clock_s']:.2f}s"
+    )
+    rows = []
+    for outcome in sweep.outcomes:
+        rows.append(
+            [
+                outcome.point.index,
+                outcome.point.label,
+                f"{outcome.computed_units}+{outcome.cached_units}c",
+                outcome.status,
+                outcome.point.hash[:12],
+                _headline(outcome.result),
+            ]
+        )
+    table = render_table(
+        ["point", "overrides", "units", "status", "spec hash", "headline"], rows
+    )
+    return header + "\n\n" + table
+
+
+def format_store_summary(store: ResultStore) -> str:
+    """Render the contents of a result store as a table."""
+    rows = []
+    corrupt = 0
+    seen = set(store.hashes())
+    for key_hash, entry in store.entries(strict=False):
+        seen.discard(key_hash)
+        key = entry["key"]
+        result = entry["result"]
+        spec = key.get("spec", {})
+        replication = key.get("replication")
+        rows.append(
+            [
+                key_hash[:12],
+                spec.get("name", "?"),
+                result.get("mode", "?"),
+                "-" if replication is None else replication,
+                f"{result.get('wall_clock_s', 0.0):.2f}",
+            ]
+        )
+    corrupt = len(seen)  # listed on disk but failed validation
+    header = f"store {store.root}: {len(rows)} valid entr{'y' if len(rows) == 1 else 'ies'}"
+    if corrupt:
+        header += f", {corrupt} corrupt"
+    if not rows:
+        return header
+    table = render_table(
+        ["hash", "scenario", "mode", "replication", "wall_clock_s"], rows
+    )
+    return header + "\n\n" + table

@@ -1,0 +1,79 @@
+"""Built-in sweep plans: the paper's multi-point studies as declarative grids.
+
+The Section V evaluation is not one run but families of runs — Fig. 6
+crosses network sizes with channel counts, Fig. 7 averages regret curves
+over replications of a fixed network under varying channel dynamics, and
+Fig. 8 compares update periods.  These ship here as named
+:class:`~repro.sweep.plan.SweepPlan` presets so ``repro sweep fig6-paper-sweep``
+reproduces a whole figure's grid with resume-for-free semantics, and so the
+plans serve as executable documentation of the grid syntax.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List
+
+from repro.spec.registry import get_scenario
+from repro.spec.scenario import SpecError
+from repro.sweep.plan import SweepPlan
+
+__all__ = ["builtin_plans", "get_plan", "list_plans"]
+
+
+def _fig6_plan() -> SweepPlan:
+    # fig6-paper bakes its 6-cell grid into network_sweep; the sweep plan
+    # expresses the same {50,100,200} x {5,10} cross product as axes, one
+    # store-addressable protocol run per cell.
+    base = replace(get_scenario("fig6-paper"), network_sweep=())
+    return SweepPlan.from_grid(
+        "fig6-paper-sweep",
+        base,
+        {
+            "topology.num_nodes": [50, 100, 200],
+            "topology.num_channels": [5, 10],
+        },
+        description="Fig. 6 convergence grid: network size x channel count",
+    )
+
+
+def _fig7_plan() -> SweepPlan:
+    return SweepPlan.from_grid(
+        "fig7-paper-sweep",
+        get_scenario("fig7-paper"),
+        {"channels.relative_std": [0.05, 0.1, 0.2]},
+        description="Fig. 7 regret study under varying channel dynamics",
+    )
+
+
+def _fig8_plan() -> SweepPlan:
+    base = get_scenario("fig8-paper")
+    return SweepPlan.from_grid(
+        "fig8-paper-sweep",
+        base,
+        {"schedule.periods": [[1], [5], [10], [20]]},
+        description="Fig. 8 periodic-update study, one update period per point",
+    )
+
+
+def builtin_plans() -> Dict[str, SweepPlan]:
+    """The named sweep plans shipped with the package (rebuilt per call)."""
+    plans = [_fig6_plan(), _fig7_plan(), _fig8_plan()]
+    return {plan.name: plan for plan in plans}
+
+
+def get_plan(name: str) -> SweepPlan:
+    """Look up a built-in sweep plan, listing the known names on a miss."""
+    plans = builtin_plans()
+    try:
+        return plans[name]
+    except KeyError:
+        raise SpecError(
+            f"unknown sweep plan {name!r}; built-in plans: "
+            f"{', '.join(sorted(plans))}"
+        ) from None
+
+
+def list_plans() -> List[str]:
+    """Names of the built-in sweep plans, sorted."""
+    return sorted(builtin_plans())

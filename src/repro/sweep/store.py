@@ -1,0 +1,219 @@
+"""Content-addressed on-disk store of experiment results.
+
+Every sweep work unit — one replication of a per-round scenario, or one
+whole periodic/protocol scenario — is stored under the SHA-256 of its
+canonical key (:func:`repro.spec.canon.unit_hash`).  The layout is git-like::
+
+    <root>/
+        store.json                  # {"schema": "repro.sweep-store/v1"}
+        objects/
+            3f/
+                3fa4...e1.json      # {"schema", "key", "result"}
+
+Entries are self-describing: each object carries the canonical key it was
+computed from, so the store can be audited (and garbage-collected) without
+any external index, and a corrupted or tampered entry is detected on read —
+the payload must parse, validate as a ``repro.scenario-result/v1`` envelope,
+and re-hash to its own file name.  Writes go through a temp file +
+``os.replace`` so concurrent sweep processes never observe a torn object.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.spec.canon import canonical_json
+from repro.spec.runner import ExperimentResult
+from repro.spec.scenario import SpecError
+
+__all__ = ["ResultStore", "StoreError", "STORE_SCHEMA", "ENTRY_SCHEMA"]
+
+#: Schema identifier of the store root marker.
+STORE_SCHEMA = "repro.sweep-store/v1"
+#: Schema identifier of every stored object.
+ENTRY_SCHEMA = "repro.sweep-entry/v1"
+
+
+class StoreError(RuntimeError):
+    """A store entry is corrupt, tampered with, or unreadable."""
+
+
+class ResultStore:
+    """Content-addressed result store rooted at a directory.
+
+    The store is created lazily on first write; reads against a
+    non-existent root simply miss.  ``put``/``load`` speak plain dicts (the
+    JSON forms) so worker processes never have to pickle result objects.
+    """
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    @property
+    def objects_dir(self) -> Path:
+        """Directory holding the content-addressed objects."""
+        return self.root / "objects"
+
+    def path_for(self, key_hash: str) -> Path:
+        """Object path of a unit hash (two-level fan-out, git style)."""
+        if len(key_hash) < 3 or not all(c in "0123456789abcdef" for c in key_hash):
+            raise StoreError(f"malformed store key {key_hash!r}")
+        return self.objects_dir / key_hash[:2] / f"{key_hash}.json"
+
+    def _ensure_root(self) -> None:
+        self.objects_dir.mkdir(parents=True, exist_ok=True)
+        marker = self.root / "store.json"
+        if not marker.exists():
+            marker.write_text(
+                json.dumps({"schema": STORE_SCHEMA}, indent=2) + "\n"
+            )
+
+    # ------------------------------------------------------------------
+    # Read / write
+    # ------------------------------------------------------------------
+    def put(
+        self, key_hash: str, key: Dict[str, object], result: Dict[str, object]
+    ) -> Path:
+        """Store one result envelope under its unit hash, atomically.
+
+        ``key`` is the canonical unit-key object (stored alongside the
+        result so entries are auditable); ``result`` is the
+        ``repro.scenario-result/v1`` dict.  Returns the object path.
+        """
+        entry = {"schema": ENTRY_SCHEMA, "key": key, "result": result}
+        path = self.path_for(key_hash)
+        self._ensure_root()
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(entry, indent=2) + "\n"
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key_hash[:8]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def load(
+        self, key_hash: str, strict: bool = True
+    ) -> Optional[Dict[str, object]]:
+        """Load the result dict stored under ``key_hash``.
+
+        Returns ``None`` on a miss.  A present-but-invalid entry (torn
+        write, truncation, hand edit) raises :class:`StoreError` naming the
+        file and the problem; with ``strict=False`` it is reported as a
+        miss instead, so sweeps self-heal by recomputing and overwriting.
+        """
+        path = self.path_for(key_hash)
+        try:
+            text = path.read_text()
+        except FileNotFoundError:
+            return None
+        except OSError as err:
+            if strict:
+                raise StoreError(f"store entry {path} is unreadable ({err})") from err
+            return None
+        try:
+            entry = self._validate_entry(key_hash, path, text)
+        except StoreError:
+            if strict:
+                raise
+            return None
+        return entry["result"]
+
+    def _validate_entry(self, key_hash: str, path: Path, text: str) -> Dict:
+        try:
+            entry = json.loads(text)
+        except json.JSONDecodeError as err:
+            raise StoreError(
+                f"store entry {path} is corrupt: invalid JSON ({err})"
+            ) from None
+        if not isinstance(entry, dict) or entry.get("schema") != ENTRY_SCHEMA:
+            raise StoreError(
+                f"store entry {path} is corrupt: expected schema "
+                f"{ENTRY_SCHEMA!r}, got "
+                f"{entry.get('schema') if isinstance(entry, dict) else entry!r}"
+            )
+        if "key" not in entry or "result" not in entry:
+            raise StoreError(
+                f"store entry {path} is corrupt: missing "
+                f"{'key' if 'key' not in entry else 'result'} field"
+            )
+        digest = hashlib.sha256(
+            canonical_json(entry["key"]).encode("utf-8")
+        ).hexdigest()
+        if digest != key_hash:
+            raise StoreError(
+                f"store entry {path} is corrupt: its key hashes to "
+                f"{digest[:12]}..., not the addressed {key_hash[:12]}... "
+                "(tampered or misfiled entry)"
+            )
+        try:
+            ExperimentResult.from_dict(entry["result"])
+        except SpecError as err:
+            raise StoreError(
+                f"store entry {path} is corrupt: result envelope is "
+                f"invalid ({err})"
+            ) from None
+        return entry
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __contains__(self, key_hash: str) -> bool:
+        return self.path_for(key_hash).is_file()
+
+    def hashes(self) -> List[str]:
+        """All well-formed object hashes present on disk, sorted.
+
+        Stray files under ``objects/`` whose names are not SHA-256 hex
+        digests are not objects and are ignored.
+        """
+        if not self.objects_dir.is_dir():
+            return []
+        return sorted(
+            path.stem
+            for path in self.objects_dir.glob("*/*.json")
+            if len(path.stem) == 64
+            and all(c in "0123456789abcdef" for c in path.stem)
+            and path.parent.name == path.stem[:2]
+        )
+
+    def entries(self, strict: bool = False) -> Iterator[Tuple[str, Dict]]:
+        """Yield ``(hash, entry)`` for every valid object.
+
+        With ``strict=False`` (the default) corrupt or vanished entries are
+        skipped; with ``strict=True`` the first bad entry raises.
+        """
+        for key_hash in self.hashes():
+            path = self.path_for(key_hash)
+            try:
+                entry = self._validate_entry(key_hash, path, path.read_text())
+            except OSError as err:
+                if strict:
+                    raise StoreError(
+                        f"store entry {path} is unreadable ({err})"
+                    ) from err
+                continue
+            except StoreError:
+                if strict:
+                    raise
+                continue
+            yield key_hash, entry
+
+    def __len__(self) -> int:
+        return len(self.hashes())

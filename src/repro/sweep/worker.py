@@ -1,0 +1,37 @@
+"""Process-pool work function for sweep units.
+
+Workers receive only JSON-ready payloads (a spec dict plus an optional
+replication index) and return the result envelope as a dict, so nothing but
+plain containers ever crosses a process boundary — policies, solvers and
+simulators are rebuilt inside the worker from the declarative spec.  This is
+why every built-in policy is process-safe under the sweep engine regardless
+of how it is implemented.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+__all__ = ["UnitPayload", "execute_unit"]
+
+#: ``(spec_dict, replication_index)`` — ``None`` means "whole scenario".
+UnitPayload = Tuple[Dict[str, object], Optional[int]]
+
+
+def execute_unit(payload: UnitPayload) -> Dict[str, object]:
+    """Run one sweep unit and return its ``repro.scenario-result/v1`` dict.
+
+    Module-level (and importable from :mod:`repro.sweep.worker`) so it
+    survives pickling under any multiprocessing start method.  Imports are
+    deferred so forked/spawned workers pay the import cost once, lazily.
+    """
+    from repro.spec.runner import run_scenario, run_scenario_replication
+    from repro.spec.scenario import ScenarioSpec
+
+    spec_dict, replication = payload
+    spec = ScenarioSpec.from_dict(spec_dict)
+    if replication is None:
+        result = run_scenario(spec)
+    else:
+        result = run_scenario_replication(spec, replication)
+    return result.to_dict()

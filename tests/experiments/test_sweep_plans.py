@@ -1,0 +1,57 @@
+"""The paper figure grids re-expressed as sweep plans."""
+
+import pytest
+
+from repro.experiments import paper_sweep_plan, paper_sweep_plans
+from repro.spec import SpecError, get_scenario
+from repro.sweep import get_plan, list_plans
+
+
+class TestBuiltinPlans:
+    def test_every_figure_has_a_plan(self):
+        plans = paper_sweep_plans()
+        assert set(plans) == {"fig6", "fig7", "fig8"}
+
+    def test_fig6_plan_reproduces_the_paper_size_grid(self):
+        plan = paper_sweep_plan("fig6")
+        cells = {
+            (
+                dict(p.overrides)["topology.num_nodes"],
+                dict(p.overrides)["topology.num_channels"],
+            )
+            for p in plan.points()
+        }
+        # The same {50,100,200} x {5,10} cross product fig6-paper bakes
+        # into its network_sweep.
+        assert cells == set(get_scenario("fig6-paper").network_sweep)
+        for point in plan.points():
+            assert point.spec.schedule.mode == "protocol"
+            assert point.spec.network_sweep == ()
+
+    def test_fig7_plan_varies_channel_dynamics(self):
+        plan = paper_sweep_plan("fig7")
+        stds = [p.spec.channels.relative_std for p in plan.points()]
+        assert stds == sorted(stds)
+        assert len(set(stds)) == len(stds) == plan.num_points
+
+    def test_fig8_plan_has_one_update_period_per_point(self):
+        plan = paper_sweep_plan("fig8")
+        periods = [p.spec.schedule.periods for p in plan.points()]
+        assert periods == [(1,), (5,), (10,), (20,)]
+
+    def test_unknown_figure_lists_the_known_ones(self):
+        with pytest.raises(SpecError, match="fig6.*fig7.*fig8"):
+            paper_sweep_plan("fig9")
+
+    def test_registry_round_trip(self):
+        for name in list_plans():
+            assert get_plan(name).name == name
+
+    def test_unknown_plan_name_lists_builtins(self):
+        with pytest.raises(SpecError, match="fig6-paper-sweep"):
+            get_plan("nope")
+
+    def test_plans_are_deterministic_across_calls(self):
+        first = paper_sweep_plan("fig6")
+        second = paper_sweep_plan("fig6")
+        assert [p.hash for p in first.points()] == [p.hash for p in second.points()]

@@ -1,0 +1,131 @@
+"""Sweep-plan expansion: grid parsing, determinism, content hashing."""
+
+import pytest
+
+from repro.spec import ScenarioSpec, SpecError, get_scenario, spec_hash, unit_hash
+from repro.sweep import SweepAxis, SweepPlan, parse_grid_items, split_grid_values
+
+
+def _base() -> ScenarioSpec:
+    return get_scenario("fig7-smoke")
+
+
+class TestGridParsing:
+    def test_values_parse_as_json_with_string_fallback(self):
+        axes = parse_grid_items(
+            ["topology.num_nodes=10,20", "channels.relative_std=0.05,0.1",
+             "topology.kind=ring,star"]
+        )
+        assert axes["topology.num_nodes"] == (10, 20)
+        assert axes["channels.relative_std"] == (0.05, 0.1)
+        assert axes["topology.kind"] == ("ring", "star")
+
+    def test_bracketed_values_keep_inner_commas(self):
+        assert split_grid_values("[1,5],[10,20]") == ["[1,5]", "[10,20]"]
+        axes = parse_grid_items(["schedule.periods=[1,5],[10,20]"])
+        assert axes["schedule.periods"] == ([1, 5], [10, 20])
+
+    def test_missing_equals_rejected(self):
+        with pytest.raises(SpecError, match="PATH=V1,V2"):
+            parse_grid_items(["topology.num_nodes"])
+
+    def test_duplicate_axis_rejected(self):
+        with pytest.raises(SpecError, match="already given"):
+            parse_grid_items(["seed=1,2", "seed=3"])
+
+    def test_empty_value_list_rejected(self):
+        with pytest.raises(SpecError, match="at least one value"):
+            parse_grid_items(["seed="])
+
+
+class TestExpansion:
+    def test_point_count_is_the_grid_product(self):
+        plan = SweepPlan.from_grid(
+            "p", _base(), {"seed": [1, 2, 3], "schedule.num_rounds": [10, 20]}
+        )
+        assert plan.num_points == 6
+
+    def test_axis_order_never_matters(self):
+        grid_a = {"seed": [1, 2], "schedule.num_rounds": [10, 20]}
+        grid_b = {"schedule.num_rounds": [10, 20], "seed": [1, 2]}
+        plan_a = SweepPlan.from_grid("p", _base(), grid_a)
+        plan_b = SweepPlan.from_grid("p", _base(), grid_b)
+        assert [p.overrides for p in plan_a.points()] == [
+            p.overrides for p in plan_b.points()
+        ]
+        assert [p.hash for p in plan_a.points()] == [p.hash for p in plan_b.points()]
+
+    def test_same_grid_gives_same_order_and_hashes(self):
+        grid = {"seed": [5, 7], "topology.num_nodes": [6, 8]}
+        first = SweepPlan.from_grid("p", _base(), grid)
+        second = SweepPlan.from_grid("p", _base(), grid)
+        assert [(p.index, p.overrides, p.hash) for p in first.points()] == [
+            (p.index, p.overrides, p.hash) for p in second.points()
+        ]
+
+    def test_expansion_order_is_last_axis_fastest(self):
+        plan = SweepPlan.from_grid(
+            "p", _base(), {"seed": [1, 2], "topology.num_nodes": [6, 8]}
+        )
+        # Axes sort to (seed, topology.num_nodes); the latter varies fastest.
+        assert [dict(p.overrides) for p in plan.points()] == [
+            {"seed": 1, "topology.num_nodes": 6},
+            {"seed": 1, "topology.num_nodes": 8},
+            {"seed": 2, "topology.num_nodes": 6},
+            {"seed": 2, "topology.num_nodes": 8},
+        ]
+
+    def test_points_carry_the_overridden_specs(self):
+        plan = SweepPlan.from_grid("p", _base(), {"schedule.num_rounds": [10, 20]})
+        assert [p.spec.schedule.num_rounds for p in plan.points()] == [10, 20]
+
+    def test_gridless_plan_is_one_base_point(self):
+        plan = SweepPlan(name="p", base=_base())
+        points = plan.points()
+        assert len(points) == 1
+        assert points[0].spec == _base()
+        assert points[0].label == "<base>"
+
+    def test_invalid_grid_value_fails_at_construction_naming_the_point(self):
+        with pytest.raises(SpecError, match="point 1.*num_rounds"):
+            SweepPlan.from_grid("p", _base(), {"schedule.num_rounds": [10, -5]})
+
+    def test_duplicate_axis_paths_rejected(self):
+        with pytest.raises(SpecError, match="duplicate axis"):
+            SweepPlan(
+                name="p",
+                base=_base(),
+                axes=(SweepAxis("seed", (1,)), SweepAxis("seed", (2,))),
+            )
+
+
+class TestContentHashing:
+    def test_spec_hash_ignores_jobs(self):
+        plan = SweepPlan.from_grid("p", _base(), {"replication.jobs": [1, 4]})
+        hashes = {p.hash for p in plan.points()}
+        assert len(hashes) == 1
+
+    def test_spec_hash_distinguishes_real_parameters(self):
+        plan = SweepPlan.from_grid("p", _base(), {"seed": [1, 2]})
+        hashes = {p.hash for p in plan.points()}
+        assert len(hashes) == 2
+
+    def test_unit_hash_shared_across_replication_counts(self):
+        plan = SweepPlan.from_grid(
+            "p", _base(), {"replication.replications": [1, 2]}
+        )
+        one, two = [p.spec for p in plan.points()]
+        assert unit_hash(one, 0) == unit_hash(two, 0)
+        assert unit_hash(two, 0) != unit_hash(two, 1)
+
+    def test_point_hash_matches_direct_spec_hash(self):
+        plan = SweepPlan.from_grid("p", _base(), {"seed": [9]})
+        point = plan.points()[0]
+        assert point.hash == spec_hash(point.spec)
+
+    def test_plan_serializes_to_dict(self):
+        plan = SweepPlan.from_grid("p", _base(), {"seed": [1, 2]})
+        payload = plan.to_dict()
+        assert payload["name"] == "p"
+        assert payload["axes"] == [{"path": "seed", "values": [1, 2]}]
+        assert payload["base"]["name"] == "fig7-smoke"

@@ -1,0 +1,156 @@
+"""Content-addressed result store: round-trip, atomicity, corruption."""
+
+import json
+
+import pytest
+
+from repro.spec import get_scenario, run_scenario_replication, unit_hash, unit_key
+from repro.sweep import ResultStore, StoreError
+
+
+@pytest.fixture(scope="module")
+def unit():
+    """One real (hash, key, result-dict) triple from a tiny scenario run."""
+    from dataclasses import replace
+
+    spec = get_scenario("fig7-smoke")
+    spec = replace(spec, schedule=replace(spec.schedule, num_rounds=5))
+    result = run_scenario_replication(spec, 0)
+    return unit_hash(spec, 0), unit_key(spec, 0), result.to_dict()
+
+
+class TestRoundTrip:
+    def test_put_then_load_returns_the_result(self, tmp_path, unit):
+        key_hash, key, result = unit
+        store = ResultStore(tmp_path / "store")
+        store.put(key_hash, key, result)
+        assert store.load(key_hash) == result
+
+    def test_objects_fan_out_by_hash_prefix(self, tmp_path, unit):
+        key_hash, key, result = unit
+        store = ResultStore(tmp_path / "store")
+        path = store.put(key_hash, key, result)
+        assert path.parent.name == key_hash[:2]
+        assert path.name == f"{key_hash}.json"
+        assert (tmp_path / "store" / "store.json").is_file()
+
+    def test_missing_entry_is_a_miss_not_an_error(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        assert store.load("ab" * 32) is None
+        assert ("ab" * 32) not in store
+
+    def test_contains_and_hashes(self, tmp_path, unit):
+        key_hash, key, result = unit
+        store = ResultStore(tmp_path / "store")
+        assert len(store) == 0
+        store.put(key_hash, key, result)
+        assert key_hash in store
+        assert store.hashes() == [key_hash]
+
+    def test_overwrite_is_idempotent(self, tmp_path, unit):
+        key_hash, key, result = unit
+        store = ResultStore(tmp_path / "store")
+        store.put(key_hash, key, result)
+        store.put(key_hash, key, result)
+        assert len(store) == 1
+
+    def test_no_temp_files_left_behind(self, tmp_path, unit):
+        key_hash, key, result = unit
+        store = ResultStore(tmp_path / "store")
+        store.put(key_hash, key, result)
+        leftovers = list((tmp_path / "store").rglob("*.tmp"))
+        assert leftovers == []
+
+
+class TestCorruption:
+    def _stored(self, tmp_path, unit):
+        key_hash, key, result = unit
+        store = ResultStore(tmp_path / "store")
+        path = store.put(key_hash, key, result)
+        return store, key_hash, path
+
+    def test_truncated_entry_raises_naming_the_file(self, tmp_path, unit):
+        store, key_hash, path = self._stored(tmp_path, unit)
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        with pytest.raises(StoreError, match=r"invalid JSON"):
+            store.load(key_hash)
+        with pytest.raises(StoreError, match=str(path)):
+            store.load(key_hash)
+
+    def test_non_strict_load_reports_corruption_as_a_miss(self, tmp_path, unit):
+        store, key_hash, path = self._stored(tmp_path, unit)
+        path.write_text("{not json")
+        assert store.load(key_hash, strict=False) is None
+
+    def test_tampered_key_detected_by_rehashing(self, tmp_path, unit):
+        store, key_hash, path = self._stored(tmp_path, unit)
+        entry = json.loads(path.read_text())
+        entry["key"]["replication"] = 7  # valid JSON, wrong content
+        path.write_text(json.dumps(entry))
+        with pytest.raises(StoreError, match="tampered or misfiled"):
+            store.load(key_hash)
+
+    def test_invalid_result_envelope_detected(self, tmp_path, unit):
+        store, key_hash, path = self._stored(tmp_path, unit)
+        entry = json.loads(path.read_text())
+        del entry["result"]["series"]
+        path.write_text(json.dumps(entry))
+        with pytest.raises(StoreError, match="envelope is invalid"):
+            store.load(key_hash)
+
+    def test_wrong_schema_detected(self, tmp_path, unit):
+        store, key_hash, path = self._stored(tmp_path, unit)
+        entry = json.loads(path.read_text())
+        entry["schema"] = "something-else/v9"
+        path.write_text(json.dumps(entry))
+        with pytest.raises(StoreError, match="expected schema"):
+            store.load(key_hash)
+
+    def test_entries_iterator_skips_corrupt_objects(self, tmp_path, unit):
+        store, key_hash, path = self._stored(tmp_path, unit)
+        bogus = store.objects_dir / "ff" / ("ff" * 32 + ".json")
+        bogus.parent.mkdir(parents=True, exist_ok=True)
+        bogus.write_text("garbage")
+        valid = dict(store.entries())
+        assert set(valid) == {key_hash}
+        with pytest.raises(StoreError):
+            list(store.entries(strict=True))
+
+    def test_malformed_hash_rejected(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        with pytest.raises(StoreError, match="malformed store key"):
+            store.path_for("../escape")
+
+
+class TestStrayFiles:
+    def test_non_hash_files_under_objects_are_ignored(self, tmp_path, unit):
+        key_hash, key, result = unit
+        store = ResultStore(tmp_path / "store")
+        store.put(key_hash, key, result)
+        stray = store.objects_dir / "ab" / "notes.json"
+        stray.parent.mkdir(parents=True, exist_ok=True)
+        stray.write_text("not an object")
+        assert store.hashes() == [key_hash]
+        assert dict(store.entries())  # does not raise on the stray file
+
+    def test_misfiled_hex_name_is_not_listed(self, tmp_path, unit):
+        key_hash, key, result = unit
+        store = ResultStore(tmp_path / "store")
+        path = store.put(key_hash, key, result)
+        misfiled_dir = store.objects_dir / "zz"
+        misfiled_dir.mkdir(parents=True, exist_ok=True)
+        (misfiled_dir / path.name).write_text(path.read_text())
+        assert store.hashes() == [key_hash]
+
+
+class TestEngineVersioning:
+    def test_unit_hash_depends_on_the_engine_version(self, unit, monkeypatch):
+        from dataclasses import replace
+
+        from repro.spec import canon, get_scenario
+
+        spec = get_scenario("fig7-smoke")
+        spec = replace(spec, schedule=replace(spec.schedule, num_rounds=5))
+        before = canon.unit_hash(spec, 0)
+        monkeypatch.setattr(canon, "ENGINE_VERSION", canon.ENGINE_VERSION + 1)
+        assert canon.unit_hash(spec, 0) != before

@@ -1,0 +1,193 @@
+"""Benchmark-trajectory tooling: normalization schema and the 2x gate."""
+
+import json
+
+import pytest
+
+from repro.benchtrend import (
+    BENCH_SCHEMA,
+    BenchTrendError,
+    benchmark_group,
+    check,
+    main,
+    normalize,
+)
+
+
+def _raw_payload():
+    """A miniature pytest-benchmark payload."""
+    return {
+        "machine_info": {"python_version": "3.12.0", "system": "Linux", "processor": "x86_64"},
+        "benchmarks": [
+            {
+                "name": "test_exact_solver",
+                "fullname": "benchmarks/test_bench_solvers.py::test_exact_solver",
+                "stats": {"mean": 0.004, "median": 0.0038, "stddev": 0.0002, "rounds": 100},
+            },
+            {
+                "name": "test_paper_policy_rounds",
+                "fullname": "benchmarks/test_bench_policies.py::test_paper_policy_rounds",
+                "stats": {"mean": 0.002, "median": 0.0019, "stddev": 0.0001, "rounds": 50},
+            },
+            {
+                "name": "test_fig7_quick",
+                "fullname": "benchmarks/test_bench_fig7.py::test_fig7_quick",
+                "stats": {"mean": 0.5, "median": 0.5, "stddev": 0.01, "rounds": 5},
+            },
+        ],
+    }
+
+
+def _trend(mean_by_name):
+    return {
+        "schema": BENCH_SCHEMA,
+        "sha": "x",
+        "machine": {},
+        "benchmarks": [
+            {
+                "name": name.rsplit("::", 1)[-1],
+                "fullname": name,
+                "group": benchmark_group(name),
+                "mean_s": mean,
+                "median_s": mean,
+                "stddev_s": 0.0,
+                "rounds": 10,
+            }
+            for name, mean in mean_by_name.items()
+        ],
+    }
+
+
+SOLVER = "benchmarks/test_bench_solvers.py::test_exact_solver"
+POLICY = "benchmarks/test_bench_policies.py::test_paper_policy_rounds"
+FIG7 = "benchmarks/test_bench_fig7.py::test_fig7_quick"
+
+
+class TestNormalize:
+    def test_schema_and_grouping(self):
+        payload = normalize(_raw_payload(), sha="abc123")
+        assert payload["schema"] == BENCH_SCHEMA
+        assert payload["sha"] == "abc123"
+        groups = {r["fullname"]: r["group"] for r in payload["benchmarks"]}
+        assert groups[SOLVER] == "solvers"
+        assert groups[POLICY] == "policies"
+        assert groups[FIG7] == "fig7"
+
+    def test_records_sorted_by_fullname(self):
+        payload = normalize(_raw_payload(), sha="abc")
+        names = [r["fullname"] for r in payload["benchmarks"]]
+        assert names == sorted(names)
+
+    def test_machine_context_captured(self):
+        payload = normalize(_raw_payload(), sha="abc")
+        assert payload["machine"]["python"] == "3.12.0"
+        assert payload["machine"]["system"] == "Linux"
+
+    def test_non_benchmark_payload_rejected(self):
+        with pytest.raises(BenchTrendError, match="pytest-benchmark"):
+            normalize({"nope": 1}, sha="abc")
+
+    def test_unconventional_filenames_fall_into_misc(self):
+        assert benchmark_group("tests/test_api.py::test_x") == "misc"
+
+
+class TestCheck:
+    def test_equal_timings_pass(self):
+        baseline = _trend({SOLVER: 0.004, POLICY: 0.002})
+        ok, lines = check(baseline, baseline, max_ratio=2.0)
+        assert ok
+        assert all(line.startswith("ok") for line in lines)
+
+    def test_slowdown_beyond_ratio_fails(self):
+        baseline = _trend({SOLVER: 0.004, POLICY: 0.002})
+        current = _trend({SOLVER: 0.009, POLICY: 0.002})  # 2.25x
+        ok, lines = check(baseline, current, max_ratio=2.0)
+        assert not ok
+        assert any(line.startswith("FAIL") and "2.2" in line for line in lines)
+
+    def test_slowdown_within_ratio_passes(self):
+        baseline = _trend({SOLVER: 0.004})
+        current = _trend({SOLVER: 0.0075})  # 1.88x
+        ok, _ = check(baseline, current, max_ratio=2.0)
+        assert ok
+
+    def test_groups_scope_the_gate(self):
+        baseline = _trend({SOLVER: 0.004, FIG7: 0.5})
+        current = _trend({SOLVER: 0.004, FIG7: 5.0})  # fig7 10x slower
+        ok, _ = check(baseline, current, max_ratio=2.0, groups=["solvers"])
+        assert ok
+        ok, _ = check(baseline, current, max_ratio=2.0, groups=["solvers", "fig7"])
+        assert not ok
+
+    def test_missing_benchmark_warns_but_does_not_fail(self):
+        baseline = _trend({SOLVER: 0.004, POLICY: 0.002})
+        current = _trend({SOLVER: 0.004})
+        ok, lines = check(baseline, current, max_ratio=2.0)
+        assert ok
+        assert any(line.startswith("WARN") and "missing" in line for line in lines)
+
+    def test_nothing_compared_fails(self):
+        baseline = _trend({SOLVER: 0.004})
+        current = _trend({SOLVER: 0.004})
+        ok, lines = check(baseline, current, max_ratio=2.0, groups=["bogus"])
+        assert not ok
+        assert any("matched nothing" in line for line in lines)
+
+    def test_bad_ratio_rejected(self):
+        baseline = _trend({SOLVER: 0.004})
+        with pytest.raises(BenchTrendError, match="max-ratio"):
+            check(baseline, baseline, max_ratio=0.5)
+
+
+class TestCli:
+    def test_normalize_then_check_round_trip(self, tmp_path, capsys):
+        raw = tmp_path / "raw.json"
+        raw.write_text(json.dumps(_raw_payload()))
+        out = tmp_path / "BENCH_abc.json"
+        assert main(["normalize", "--input", str(raw), "--output", str(out), "--sha", "abc"]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == BENCH_SCHEMA
+        assert (
+            main(
+                [
+                    "check",
+                    "--baseline", str(out),
+                    "--current", str(out),
+                    "--max-ratio", "2.0",
+                    "--group", "solvers",
+                    "--group", "policies",
+                ]
+            )
+            == 0
+        )
+        assert "gate passed" in capsys.readouterr().out
+
+    def test_check_exits_nonzero_on_regression(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        cur = tmp_path / "cur.json"
+        base.write_text(json.dumps(_trend({SOLVER: 0.004})))
+        cur.write_text(json.dumps(_trend({SOLVER: 0.02})))
+        code = main(
+            ["check", "--baseline", str(base), "--current", str(cur), "--group", "solvers"]
+        )
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "regression gate failed" in captured.err
+
+    def test_check_rejects_wrong_schema(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": "other/v1", "benchmarks": []}))
+        code = main(["check", "--baseline", str(bad), "--current", str(bad)])
+        assert code == 1
+        assert "expected schema" in capsys.readouterr().err
+
+    def test_missing_input_reported_cleanly(self, tmp_path, capsys):
+        code = main(
+            [
+                "normalize",
+                "--input", str(tmp_path / "nope.json"),
+                "--output", str(tmp_path / "out.json"),
+                "--sha", "abc",
+            ]
+        )
+        assert code == 1

@@ -5,6 +5,7 @@ relies on; ``pyproject.toml`` must keep the pytest path configuration that
 makes ``pip install -e .`` + ``pytest`` work without PYTHONPATH tricks.
 """
 
+import json
 import pathlib
 import sys
 
@@ -38,16 +39,38 @@ class TestWorkflow:
 
     def test_expected_jobs_present(self):
         jobs = _load_workflow()["jobs"]
-        assert set(jobs) == {"lint", "tests", "benchmark-smoke", "cli-smoke"}
+        assert set(jobs) == {
+            "lint",
+            "tests",
+            "benchmark-smoke",
+            "benchmark-trend",
+            "cli-smoke",
+            "sweep-smoke",
+        }
+
+    def test_concurrency_cancels_in_progress_runs(self):
+        workflow = _load_workflow()
+        concurrency = workflow["concurrency"]
+        assert concurrency["cancel-in-progress"] is True
+        assert "github.ref" in concurrency["group"]
 
     def test_lint_job_runs_ruff(self):
         lint = _load_workflow()["jobs"]["lint"]
         commands = [step.get("run", "") for step in lint["steps"]]
         assert any(command.startswith("ruff check") for command in commands)
 
-    def test_test_matrix_covers_both_python_versions(self):
+    def test_lint_job_checks_formatting(self):
+        lint = _load_workflow()["jobs"]["lint"]
+        commands = [step.get("run", "") for step in lint["steps"]]
+        assert any("ruff format --check" in command for command in commands)
+
+    def test_test_matrix_covers_supported_python_versions(self):
         tests = _load_workflow()["jobs"]["tests"]
-        assert tests["strategy"]["matrix"]["python-version"] == ["3.10", "3.12"]
+        assert tests["strategy"]["matrix"]["python-version"] == [
+            "3.10",
+            "3.12",
+            "3.13",
+        ]
         commands = [step.get("run", "") for step in tests["steps"]]
         assert any("pytest" in command for command in commands)
 
@@ -58,6 +81,54 @@ class TestWorkflow:
             "pytest benchmarks" in command and "--benchmark-disable" in command
             for command in commands
         )
+
+    def test_benchmark_trend_records_and_gates_the_trajectory(self):
+        trend = _load_workflow()["jobs"]["benchmark-trend"]
+        commands = [step.get("run", "") for step in trend["steps"]]
+        assert any(
+            "pytest benchmarks" in command and "--benchmark-json" in command
+            for command in commands
+        ), "benchmark-trend must record real benchmark timings"
+        assert any(
+            "repro.benchtrend normalize" in command and "BENCH_" in command
+            for command in commands
+        ), "benchmark-trend must normalize into the BENCH_<sha>.json schema"
+        assert any(
+            "repro.benchtrend check" in command
+            and "benchmarks/baseline.json" in command
+            and "--max-ratio 2.0" in command
+            for command in commands
+        ), "benchmark-trend must gate against the committed baseline at 2x"
+        uploads = [step for step in trend["steps"] if "upload-artifact" in step.get("uses", "")]
+        assert uploads and uploads[0]["with"]["path"] == "BENCH_*.json", (
+            "benchmark-trend must upload the BENCH_*.json artifact"
+        )
+
+    def test_benchmark_trend_baseline_is_committed(self):
+        baseline = json.loads(
+            (REPO_ROOT / "benchmarks" / "baseline.json").read_text()
+        )
+        assert baseline["schema"] == "repro.bench-trend/v1"
+        groups = {record["group"] for record in baseline["benchmarks"]}
+        # The gated microbenchmark groups must exist in the baseline.
+        assert {"solvers", "policies"} <= groups
+
+    def test_sweep_smoke_runs_process_backend_and_asserts_cache_hits(self):
+        smoke = _load_workflow()["jobs"]["sweep-smoke"]
+        commands = [step.get("run", "") for step in smoke["steps"]]
+        assert any(
+            "repro sweep fig7-smoke" in command
+            and "--backend process" in command
+            and "replication.replications=1,2" in command
+            for command in commands
+        ), "sweep-smoke must run the 2-point sweep on the process backend"
+        assert any(
+            "plan_units" in command and "expected" in command
+            for command in commands
+        ), "sweep-smoke must assert the store holds the planned unit hashes"
+        assert any(
+            'stats["computed"] == 0' in command for command in commands
+        ), "sweep-smoke must assert the re-run is served 100% from the store"
 
     def test_cli_smoke_runs_a_registered_scenario_and_validates_json(self):
         smoke = _load_workflow()["jobs"]["cli-smoke"]

@@ -158,3 +158,87 @@ class TestScenarioCommands:
         payload = json.loads(capsys.readouterr().out)
         assert payload["schema"] == "repro.scenario-result/v1"
         assert payload["scenario"] == "fig7-smoke"
+
+
+class TestSweepCommand:
+    SWEEP_ARGS = [
+        "sweep", "fig7-smoke",
+        "--grid", "replication.replications=1,2",
+        "--set", "schedule.num_rounds=8",
+    ]
+
+    def _run(self, tmp_path, capsys, *extra):
+        store = str(tmp_path / "store")
+        assert main([*self.SWEEP_ARGS, "--store", store, *extra]) == 0
+        return capsys.readouterr().out
+
+    def test_sweep_runs_and_reports_unit_accounting(self, tmp_path, capsys):
+        output = self._run(tmp_path, capsys)
+        assert "2 point(s)" in output
+        assert "2 computed, 0 cached" in output
+        assert "replication.replications=2" in output
+
+    def test_rerun_reports_full_cache_hits(self, tmp_path, capsys):
+        self._run(tmp_path, capsys)
+        output = self._run(tmp_path, capsys)
+        assert "0 computed, 2 cached" in output
+
+    def test_stats_json_is_machine_checkable(self, tmp_path, capsys):
+        stats_path = tmp_path / "stats.json"
+        self._run(tmp_path, capsys, "--stats-json", str(stats_path))
+        stats = json.loads(stats_path.read_text())
+        assert stats["points"] == 2
+        assert stats["computed"] == 2
+        assert stats["cached"] == 0
+        self._run(tmp_path, capsys, "--stats-json", str(stats_path))
+        stats = json.loads(stats_path.read_text())
+        assert stats["computed"] == 0
+        assert stats["cached"] == stats["unique_units"] == 2
+
+    def test_json_envelope_export(self, tmp_path, capsys):
+        out = tmp_path / "sweep.json"
+        self._run(tmp_path, capsys, "--json", str(out))
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == "repro.sweep-result/v1"
+        assert len(payload["points"]) == 2
+
+    def test_process_backend_through_the_cli(self, tmp_path, capsys):
+        output = self._run(tmp_path, capsys, "--backend", "process", "--jobs", "2")
+        assert "backend=process" in output
+
+    def test_summarize_store_without_target(self, tmp_path, capsys):
+        self._run(tmp_path, capsys)
+        store = str(tmp_path / "store")
+        assert main(["sweep", "--summarize", "--store", store]) == 0
+        output = capsys.readouterr().out
+        assert "2 valid entries" in output
+        assert "fig7-smoke" in output
+
+    def test_summarize_plan_does_not_run_anything(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main([*self.SWEEP_ARGS, "--store", store, "--summarize"]) == 0
+        output = capsys.readouterr().out
+        assert "0/3 unit(s) cached" in output
+        assert "pending" in output
+
+    def test_list_plans(self, capsys):
+        assert main(["sweep", "--list-plans"]) == 0
+        output = capsys.readouterr().out
+        for name in ("fig6-paper-sweep", "fig7-paper-sweep", "fig8-paper-sweep"):
+            assert name in output
+
+    def test_no_target_without_summarize_is_an_error(self):
+        with pytest.raises(SystemExit, match="give a scenario"):
+            main(["sweep"])
+
+    def test_builtin_plan_rejects_grid_flags(self):
+        with pytest.raises(SystemExit, match="built-in preset"):
+            main(["sweep", "fig7-paper-sweep", "--grid", "seed=1,2"])
+
+    def test_bad_grid_axis_exits_with_path(self):
+        with pytest.raises(SystemExit, match="bogus"):
+            main(["sweep", "fig7-smoke", "--grid", "schedule.bogus=1,2"])
+
+    def test_unknown_backend_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "fig7-smoke", "--backend", "gpu"])
