@@ -411,7 +411,10 @@ def _list_scenarios_command(_args) -> str:
             if not spec.network_sweep
             else ", ".join(f"{n}x{m}" for n, m in spec.network_sweep)
         )
-        rows.append([name, spec.schedule.mode, topology, spec.description])
+        mode = spec.schedule.mode
+        if spec.dynamics is not None:
+            mode = f"dynamic/{spec.dynamics.kind}"
+        rows.append([name, mode, topology, spec.description])
     return render_table(["scenario", "mode", "networks", "description"], rows)
 
 

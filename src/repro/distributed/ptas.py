@@ -96,6 +96,12 @@ class DistributedRobustPTAS:
         Optional map from vertex id to master-node id, used only for the
         space-cost report (the O(m) claim counts master nodes); defaults to
         counting vertices.
+    precomputed_neighborhoods:
+        Optional externally-owned neighbourhood caches, mapping hop radius
+        to the per-vertex neighbourhood list.  Must cover the radii ``r``,
+        ``r + 1``, ``2r + 1`` and ``3r + 2``; lists are kept *by reference*,
+        which lets :mod:`repro.dynamics` maintain them incrementally while
+        the protocol keeps running on the live topology.
     """
 
     def __init__(
@@ -105,6 +111,7 @@ class DistributedRobustPTAS:
         max_mini_rounds: Optional[int] = None,
         local_solver: Optional[MWISSolver] = None,
         master_of: Optional[Sequence[int]] = None,
+        precomputed_neighborhoods: Optional[Dict[int, List[Set[int]]]] = None,
     ) -> None:
         if r < 1:
             raise ValueError(
@@ -129,10 +136,23 @@ class DistributedRobustPTAS:
         # (distance up to r+1), so one extra hop is needed for every vertex
         # whose (2r+1)-hop election horizon contains a decided vertex to learn
         # about the decision before the next mini-round.
-        self._hood_r = self._all_neighborhoods(r)
-        self._hood_r1 = self._all_neighborhoods(r + 1)
-        self._hood_2r1 = self._all_neighborhoods(2 * r + 1)
-        self._hood_lb = self._all_neighborhoods(3 * r + 2)
+        if precomputed_neighborhoods is not None:
+            required = (r, r + 1, 2 * r + 1, 3 * r + 2)
+            missing = [hops for hops in required if hops not in precomputed_neighborhoods]
+            if missing:
+                raise ValueError(
+                    f"precomputed_neighborhoods is missing radii {missing}; "
+                    f"the protocol needs {list(required)}"
+                )
+            self._hood_r = precomputed_neighborhoods[r]
+            self._hood_r1 = precomputed_neighborhoods[r + 1]
+            self._hood_2r1 = precomputed_neighborhoods[2 * r + 1]
+            self._hood_lb = precomputed_neighborhoods[3 * r + 2]
+        else:
+            self._hood_r = self._all_neighborhoods(r)
+            self._hood_r1 = self._all_neighborhoods(r + 1)
+            self._hood_2r1 = self._all_neighborhoods(2 * r + 1)
+            self._hood_lb = self._all_neighborhoods(3 * r + 2)
 
     # ------------------------------------------------------------------
     # Precomputation helpers

@@ -9,6 +9,9 @@
   shared by batches and parameter sweeps.
 * :mod:`repro.sim.periodic` -- periodic (stale-weight) update simulation of
   Section V-C.
+* :mod:`repro.sim.dynamic` -- simulation under topology dynamics (churn,
+  mobility, link flapping) threading :mod:`repro.dynamics` event schedules
+  between learning rounds.
 * :mod:`repro.sim.results` -- result containers.
 * :mod:`repro.sim.metrics` -- small numeric helpers shared by the experiments.
 """
@@ -25,6 +28,12 @@ from repro.sim.backends import (
     resolve_backend,
 )
 from repro.sim.batch import BatchResult, BatchSimulator, replication_rngs
+from repro.sim.dynamic import (
+    DynamicRoundRecord,
+    DynamicRunResult,
+    DynamicSimulator,
+    EventBatchRecord,
+)
 from repro.sim.periodic import PeriodicSimulator, PeriodRecord, PeriodicResult
 from repro.sim.results import RoundRecord, SimulationResult
 from repro.sim.metrics import running_average, summarize_trace
@@ -42,6 +51,10 @@ __all__ = [
     "BatchResult",
     "BatchSimulator",
     "replication_rngs",
+    "DynamicSimulator",
+    "DynamicRunResult",
+    "DynamicRoundRecord",
+    "EventBatchRecord",
     "PeriodicSimulator",
     "PeriodRecord",
     "PeriodicResult",

@@ -1,0 +1,338 @@
+"""Round-by-round simulation under topology dynamics.
+
+:class:`DynamicSimulator` is the dynamic-topology counterpart of
+:class:`~repro.sim.engine.Simulator`: it drives one policy through ``n``
+learning rounds while threading the events of an
+:class:`~repro.dynamics.events.EventSchedule` between rounds.  Before the
+round-``t`` strategy decision every event scheduled for round ``t`` is
+applied *incrementally* to the engine's live graphs, per-topology caches
+(r-hop neighbourhoods, the protocol's previous-strategy memory) are
+invalidated, and the next decision re-converges from scratch.
+
+Per round it records the usual reward trace plus the dynamics-specific
+measurements: the number of active nodes, the protocol's mini-rounds and
+message counts for the decision, and — when a dynamic oracle is enabled —
+the optimal expected throughput of the *current* topology, which turns the
+reward trace into a dynamic-regret trace.  Each event batch additionally
+yields an :class:`EventBatchRecord` capturing the re-convergence cost
+(mini-rounds and messages of the first decision after the change) — the
+"messages per event" / "re-convergence rounds" metrics of the churn
+scenarios.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.channels.state import ChannelState
+from repro.core.policies import Policy
+from repro.core.strategy import Strategy
+from repro.dynamics.engine import DynamicStrategyEngine
+from repro.dynamics.events import EventSchedule
+from repro.dynamics.graph import index_frame
+from repro.mwis.base import MWISSolver
+from repro.mwis.local import solve_local_mwis
+from repro.sim.timing import TimingConfig
+
+__all__ = ["DynamicRoundRecord", "EventBatchRecord", "DynamicRunResult", "DynamicSimulator"]
+
+
+@dataclass(frozen=True)
+class DynamicRoundRecord:
+    """Everything measured in one learning round under dynamics."""
+
+    round_index: int
+    strategy: Strategy
+    expected_reward: float
+    observed_reward: float
+    active_nodes: int
+    num_events: int
+    #: Mini-rounds / messages of this round's strategy decision (0 when the
+    #: policy decided without the distributed protocol).
+    mini_rounds: int
+    messages: int
+    deliveries: int
+    #: Optimal expected throughput of the current topology (dynamic oracle);
+    #: ``None`` when the oracle is disabled.
+    optimal_value: Optional[float]
+    duration_s: float
+
+
+@dataclass(frozen=True)
+class EventBatchRecord:
+    """One applied event batch plus the re-convergence cost it caused."""
+
+    round_index: int
+    num_events: int
+    touched_vertices: int
+    recomputed_neighborhoods: int
+    active_nodes: int
+    num_edges: int
+    #: Cost of the first strategy decision after the change.
+    reconvergence_mini_rounds: int
+    messages: int
+    deliveries: int
+
+
+@dataclass
+class DynamicRunResult:
+    """Full trace of one policy run under topology dynamics."""
+
+    policy_name: str
+    rounds: List[DynamicRoundRecord] = field(default_factory=list)
+    event_batches: List[EventBatchRecord] = field(default_factory=list)
+
+    @property
+    def num_rounds(self) -> int:
+        """Number of simulated rounds."""
+        return len(self.rounds)
+
+    @property
+    def num_events(self) -> int:
+        """Total number of applied topology events."""
+        return sum(batch.num_events for batch in self.event_batches)
+
+    def expected_reward_trace(self) -> np.ndarray:
+        """Per-round expected throughput of the played strategies."""
+        return np.array([record.expected_reward for record in self.rounds], dtype=float)
+
+    def optimal_value_trace(self) -> Optional[np.ndarray]:
+        """Per-round dynamic-oracle value (``None`` when disabled)."""
+        if any(record.optimal_value is None for record in self.rounds):
+            return None
+        return np.array([record.optimal_value for record in self.rounds], dtype=float)
+
+    def dynamic_regret_trace(self) -> Optional[np.ndarray]:
+        """Per-round gap to the dynamic oracle (``None`` when disabled)."""
+        optimal = self.optimal_value_trace()
+        if optimal is None:
+            return None
+        return optimal - self.expected_reward_trace()
+
+    def active_nodes_trace(self) -> np.ndarray:
+        """Per-round number of active nodes."""
+        return np.array([record.active_nodes for record in self.rounds], dtype=float)
+
+    def mini_rounds_trace(self) -> np.ndarray:
+        """Per-round protocol mini-rounds of the strategy decision."""
+        return np.array([record.mini_rounds for record in self.rounds], dtype=float)
+
+    def messages_trace(self) -> np.ndarray:
+        """Per-round protocol broadcasts of the strategy decision."""
+        return np.array([record.messages for record in self.rounds], dtype=float)
+
+    def total_messages(self) -> int:
+        """Broadcasts originated across all rounds."""
+        return int(sum(record.messages for record in self.rounds))
+
+    def total_deliveries(self) -> int:
+        """Message deliveries across all rounds."""
+        return int(sum(record.deliveries for record in self.rounds))
+
+
+class DynamicSimulator:
+    """Simulate one policy on a dynamically changing topology.
+
+    Parameters
+    ----------
+    engine:
+        A *fresh* :class:`~repro.dynamics.engine.DynamicStrategyEngine`
+        (the run mutates it; one engine per run).
+    channels:
+        Ground-truth channel state over the full node universe.
+    schedule:
+        The topology events threaded between rounds.
+    timing:
+        Round timing (defaults to the paper's Table II values).
+    rng:
+        Random generator driving the channel draws.
+    compute_optimal:
+        When ``True``, re-solve the optimal expected throughput of the
+        current topology (exact MWIS over the active vertices) at the start
+        and after every event batch — the dynamic-oracle benchmark.  Only
+        feasible for small networks.
+    optimal_solver:
+        Solver for the dynamic oracle (default exact enumeration).
+    frame:
+        The static arm-index frame (see
+        :func:`repro.dynamics.graph.index_frame`).  Callers that already
+        built one for their policies can pass it in; ``None`` builds it.
+    """
+
+    def __init__(
+        self,
+        engine: DynamicStrategyEngine,
+        channels: ChannelState,
+        schedule: EventSchedule,
+        timing: Optional[TimingConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+        compute_optimal: bool = False,
+        optimal_solver: Optional[MWISSolver] = None,
+        frame=None,
+    ) -> None:
+        topology = engine.topology
+        if (
+            channels.num_nodes != topology.num_nodes
+            or channels.num_channels != topology.num_channels
+        ):
+            raise ValueError(
+                "channel state shape "
+                f"({channels.num_nodes}x{channels.num_channels}) does not match "
+                f"the topology ({topology.num_nodes}x{topology.num_channels})"
+            )
+        if engine.num_event_batches:
+            raise ValueError(
+                "the engine has already applied events; build a fresh engine "
+                "per simulation run"
+            )
+        self._engine = engine
+        self._channels = channels
+        self._schedule = schedule
+        self._timing = timing if timing is not None else TimingConfig.paper_defaults()
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._compute_optimal = compute_optimal
+        self._optimal_solver = optimal_solver
+        # Static index frame: vertex <-> (node, channel) never changes, only
+        # edges do; feasibility is checked against the live graph instead.
+        if frame is not None and (
+            frame.num_nodes != topology.num_nodes
+            or frame.num_channels != topology.num_channels
+        ):
+            raise ValueError(
+                f"index frame shape ({frame.num_nodes}x{frame.num_channels}) "
+                f"does not match the topology "
+                f"({topology.num_nodes}x{topology.num_channels})"
+            )
+        self._index_graph = (
+            frame
+            if frame is not None
+            else index_frame(topology.num_nodes, topology.num_channels)
+        )
+        self._consumed = False
+
+    @property
+    def engine(self) -> DynamicStrategyEngine:
+        """The dynamic-topology engine driving this run."""
+        return self._engine
+
+    @property
+    def timing(self) -> TimingConfig:
+        """The round timing configuration."""
+        return self._timing
+
+    def _optimal_value(self) -> Optional[float]:
+        if not self._compute_optimal:
+            return None
+        active = self._engine.extended.active_vertices()
+        if not active:
+            return 0.0
+        solution = solve_local_mwis(
+            self._engine.extended.adjacency,
+            self._channels.mean_vector(),
+            active,
+            solver=self._optimal_solver,
+        )
+        return float(solution.weight)
+
+    def _total_solves(self) -> int:
+        return sum(solver.num_solves for solver in self._engine.solvers)
+
+    def _decision_costs(self) -> "tuple[int, int, int]":
+        """Mini-rounds / messages / deliveries of the latest decision."""
+        for solver in reversed(self._engine.solvers):
+            result = solver.last_result
+            if result is not None:
+                communication = result.costs.communication
+                return (
+                    result.num_mini_rounds,
+                    communication.total_messages,
+                    communication.total_deliveries,
+                )
+        return (0, 0, 0)
+
+    def run(self, policy: Policy, num_rounds: int) -> DynamicRunResult:
+        """Run ``policy`` for ``num_rounds`` rounds, threading the schedule."""
+        if num_rounds <= 0:
+            raise ValueError(f"num_rounds must be positive, got {num_rounds}")
+        if self._consumed:
+            raise RuntimeError(
+                "this DynamicSimulator already ran; build a fresh engine and "
+                "simulator per run"
+            )
+        self._consumed = True
+        result = DynamicRunResult(policy_name=policy.name)
+        optimal_value = self._optimal_value()
+        for round_index in range(1, num_rounds + 1):
+            started_at = time.perf_counter()
+            events = self._schedule.events_for_round(round_index)
+            report = None
+            if events:
+                report = self._engine.apply_events(events)
+                optimal_value = self._optimal_value()
+            solves_before = self._total_solves()
+            strategy = policy.select_strategy(round_index)
+            self._validate_strategy(strategy)
+            # The protocol builds a fresh message network per decision, so
+            # the communication counters are already per-round quantities.
+            # A round in which the policy decided without running the
+            # protocol (epoch-based policies) costs nothing.
+            if self._total_solves() > solves_before:
+                mini_rounds, round_messages, round_deliveries = self._decision_costs()
+            else:
+                mini_rounds, round_messages, round_deliveries = 0, 0, 0
+            arms = strategy.arm_array(self._index_graph)
+            values = self._channels.sample_arm_array(arms, self._rng)
+            policy.observe_arms(round_index, strategy, arms, values)
+            expected_reward = self._channels.expected_reward_arms(arms)
+            record = DynamicRoundRecord(
+                round_index=round_index,
+                strategy=strategy,
+                expected_reward=expected_reward,
+                observed_reward=float(values.sum()),
+                active_nodes=self._engine.topology.num_active,
+                num_events=len(events),
+                mini_rounds=mini_rounds,
+                messages=round_messages,
+                deliveries=round_deliveries,
+                optimal_value=optimal_value,
+                duration_s=time.perf_counter() - started_at,
+            )
+            result.rounds.append(record)
+            if report is not None:
+                result.event_batches.append(
+                    EventBatchRecord(
+                        round_index=round_index,
+                        num_events=report.num_events,
+                        touched_vertices=report.touched_vertices,
+                        recomputed_neighborhoods=report.recomputed_neighborhoods,
+                        active_nodes=report.active_nodes,
+                        num_edges=report.num_edges,
+                        reconvergence_mini_rounds=mini_rounds,
+                        messages=round_messages,
+                        deliveries=round_deliveries,
+                    )
+                )
+        return result
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _validate_strategy(self, strategy: Strategy) -> None:
+        """A strategy must be independent on the *current* ``H`` and may only
+        schedule active nodes — both hard errors, not scoring artifacts."""
+        topology = self._engine.topology
+        for node, _channel in strategy:
+            if not topology.is_active(node):
+                raise RuntimeError(
+                    f"policy scheduled departed node {node}: {strategy!r}"
+                )
+        arms = strategy.arms(self._index_graph)
+        if not self._engine.extended.is_independent(arms):
+            raise RuntimeError(
+                f"policy produced a strategy that conflicts on the current "
+                f"topology: {strategy!r}"
+            )

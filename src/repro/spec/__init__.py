@@ -38,6 +38,7 @@ from repro.spec.runner import (
 )
 from repro.spec.scenario import (
     ChannelSpec,
+    DynamicsSpec,
     PolicySpec,
     ReplicationSpec,
     ScenarioSpec,
@@ -52,6 +53,7 @@ __all__ = [
     "ChannelSpec",
     "PolicySpec",
     "ScheduleSpec",
+    "DynamicsSpec",
     "ReplicationSpec",
     "ScenarioSpec",
     "ScenarioRegistry",

@@ -47,7 +47,11 @@ UNIT_SCHEMA = "repro.sweep-unit/v1"
 #: stale results can never be served as current ones.  Pure refactors,
 #: speedups and new features that leave existing outputs bit-identical must
 #: NOT bump it, or stores lose their resume value for no reason.
-ENGINE_VERSION = 1
+#:
+#: History: 2 — protocol-mode envelopes gained per-cell communication
+#: counters (total_messages/deliveries, per-phase mini-timeslots), so
+#: entries computed under version 1 lack fields current consumers may read.
+ENGINE_VERSION = 2
 
 
 def canonical_json(data) -> str:
@@ -76,11 +80,39 @@ def canonical_spec(
     return replace(spec, replication=replication)
 
 
+#: Spec-dict fields added after the sweep-unit/v1 schema shipped, with the
+#: default that marks them "absent".  ``(None, key)`` entries are top-level,
+#: ``(section, key)`` entries live in a sub-dict.  A field holding its
+#: default is omitted from the *hashed* form (never from ``to_dict``), so a
+#: spec that was expressible before the field existed keeps its original
+#: content hash and old store entries keep resolving — the same
+#: "bit-identical outputs must not invalidate the store" rule as
+#: :data:`ENGINE_VERSION`.
+_EXTENSION_DEFAULTS = (
+    ((None, "dynamics"), None),
+    (("channels", "ge_bad_fraction"), 0.25),
+    (("channels", "ge_p_good_to_bad"), 0.1),
+    (("channels", "ge_p_bad_to_good"), 0.3),
+    (("channels", "adversarial_period"), 16),
+)
+
+
+def _strip_extension_defaults(data: Dict[str, object]) -> Dict[str, object]:
+    for (section, key), default in _EXTENSION_DEFAULTS:
+        holder = data if section is None else data.get(section)
+        if isinstance(holder, dict) and holder.get(key) == default:
+            holder.pop(key, None)
+    return data
+
+
 def canonical_spec_dict(
     spec: ScenarioSpec, *, single_replication: bool = False
 ) -> Dict[str, object]:
-    """``canonical_spec(...).to_dict()`` (the hashed payload)."""
-    return canonical_spec(spec, single_replication=single_replication).to_dict()
+    """The hashed payload: ``canonical_spec(...).to_dict()`` with
+    default-valued extension fields stripped (hash-stable across releases)."""
+    return _strip_extension_defaults(
+        canonical_spec(spec, single_replication=single_replication).to_dict()
+    )
 
 
 def _sha256(text: str) -> str:

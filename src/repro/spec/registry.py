@@ -19,6 +19,7 @@ from typing import Dict, List, Optional
 
 from repro.spec.scenario import (
     ChannelSpec,
+    DynamicsSpec,
     PolicySpec,
     ReplicationSpec,
     ScenarioSpec,
@@ -187,6 +188,69 @@ def _complexity_spec(name: str, *, sizes, r: int, scale: str) -> ScenarioSpec:
     )
 
 
+def _churn_spec(
+    name: str,
+    *,
+    num_nodes: int,
+    num_channels: int,
+    num_rounds: int,
+    rate: float,
+    r: int,
+    compute_optimal: bool,
+    scale: str,
+) -> ScenarioSpec:
+    return ScenarioSpec(
+        name=name,
+        description=f"Poisson node churn with re-converging PTAS ({scale} scale)",
+        seed=2014,
+        topology=TopologySpec(
+            kind="connected-random",
+            num_nodes=num_nodes,
+            num_channels=num_channels,
+            average_degree=4.0,
+        ),
+        channels=ChannelSpec(),
+        policies=(PolicySpec(kind="algorithm2", r=r), PolicySpec(kind="llr", r=r)),
+        schedule=ScheduleSpec(mode="per-round", num_rounds=num_rounds),
+        dynamics=DynamicsSpec(kind="poisson-churn", rate=rate),
+        replication=ReplicationSpec(),
+        compute_optimal=compute_optimal,
+    )
+
+
+def _mobility_spec(
+    name: str,
+    *,
+    num_nodes: int,
+    num_channels: int,
+    num_rounds: int,
+    speed: float,
+    step_every: int,
+    r: int,
+    compute_optimal: bool,
+    scale: str,
+) -> ScenarioSpec:
+    return ScenarioSpec(
+        name=name,
+        description=f"Random-waypoint mobility with re-converging PTAS ({scale} scale)",
+        seed=2014,
+        topology=TopologySpec(
+            kind="connected-random",
+            num_nodes=num_nodes,
+            num_channels=num_channels,
+            average_degree=4.0,
+        ),
+        channels=ChannelSpec(),
+        policies=(PolicySpec(kind="algorithm2", r=r),),
+        schedule=ScheduleSpec(mode="per-round", num_rounds=num_rounds),
+        dynamics=DynamicsSpec(
+            kind="random-waypoint", speed=speed, step_every=step_every
+        ),
+        replication=ReplicationSpec(),
+        compute_optimal=compute_optimal,
+    )
+
+
 def _builtin_scenarios() -> List[ScenarioSpec]:
     return [
         _fig6_spec(
@@ -241,6 +305,37 @@ def _builtin_scenarios() -> List[ScenarioSpec]:
         ),
         _complexity_spec(
             "complexity-quick", sizes=((10, 3), (20, 3)), r=1, scale="quick"
+        ),
+        _churn_spec(
+            "churn-quick",
+            num_nodes=10,
+            num_channels=3,
+            num_rounds=150,
+            rate=0.05,
+            r=1,
+            compute_optimal=True,
+            scale="quick",
+        ),
+        _churn_spec(
+            "churn-paper",
+            num_nodes=50,
+            num_channels=5,
+            num_rounds=1000,
+            rate=0.02,
+            r=2,
+            compute_optimal=False,
+            scale="paper",
+        ),
+        _mobility_spec(
+            "mobility-quick",
+            num_nodes=10,
+            num_channels=3,
+            num_rounds=150,
+            speed=0.5,
+            step_every=10,
+            r=1,
+            compute_optimal=True,
+            scale="quick",
         ),
     ]
 

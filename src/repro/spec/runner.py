@@ -179,7 +179,9 @@ def run_scenario(spec: ScenarioSpec) -> ExperimentResult:
     """Run one scenario and return its :class:`ExperimentResult` envelope."""
     spec.validate(spec.name)
     started_at = time.perf_counter()
-    if spec.schedule.mode == "per-round":
+    if spec.dynamics is not None:
+        result = _run_dynamic(spec)
+    elif spec.schedule.mode == "per-round":
         result = _run_per_round(spec)
     elif spec.schedule.mode == "periodic":
         result = _run_periodic(spec)
@@ -255,8 +257,16 @@ def _run_per_round(
         )
     batches = {}
     simulated_wall_clock = 0.0
-    for label, factory in factories.items():
-        batch = system.simulate_batch(
+    run_system, run_factories = system, factories
+    for index, label in enumerate(factories):
+        if index > 0 and spec.channels.is_stateful:
+            # Stateful channel models accumulate chain/cursor state while a
+            # policy samples them; replay the identical construction so every
+            # policy faces the same fresh environment and the head-to-head
+            # comparison stays valid.
+            run_system, run_factories = spec.build()
+        factory = run_factories[label]
+        batch = run_system.simulate_batch(
             lambda index: factory(),
             num_rounds=spec.schedule.num_rounds,
             replications=replications,
@@ -294,11 +304,12 @@ def run_scenario_replication(
     protocol scenarios execute as whole-scenario units.
     """
     spec.validate(spec.name)
-    if spec.schedule.mode != "per-round":
+    if spec.schedule.mode != "per-round" or spec.dynamics is not None:
         raise SpecError(
             f"{spec.name}: run_scenario_replication only supports per-round "
-            f"schedules (got {spec.schedule.mode!r}); run the whole scenario "
-            "instead"
+            f"schedules without dynamics (got mode={spec.schedule.mode!r}, "
+            f"dynamics={'set' if spec.dynamics is not None else 'none'}); "
+            "run the whole scenario instead"
         )
     if replication_index < 0:
         raise SpecError(
@@ -326,10 +337,10 @@ def merge_replication_results(
     """
     if not results:
         raise SpecError(f"{spec.name}: cannot merge zero replication results")
-    if spec.schedule.mode != "per-round":
+    if spec.schedule.mode != "per-round" or spec.dynamics is not None:
         raise SpecError(
             f"{spec.name}: merge_replication_results only supports per-round "
-            f"schedules (got {spec.schedule.mode!r})"
+            f"schedules without dynamics (got {spec.schedule.mode!r})"
         )
     base = results[0]
     merged = ExperimentResult(
@@ -412,10 +423,20 @@ def _run_periodic(spec: ScenarioSpec) -> ExperimentResult:
         def run_replication(seed):
             # One fresh system per policy: every policy replays the same
             # spawned channel stream (common random numbers), which makes
-            # the per-policy traces directly comparable.
+            # the per-policy traces directly comparable.  Stateful channel
+            # models additionally get a freshly materialized environment per
+            # policy — their chain/cursor state would otherwise leak from
+            # one policy's run into the next.
             runs = {}
             for policy_spec in spec.policies:
-                system = ChannelAccessSystem(graph, channels, seed=seed)
+                policy_channels = channels
+                if channels.has_stateful_models:
+                    replay = np.random.default_rng(spec.seed)
+                    spec.topology.build(replay)  # consume the topology draws
+                    policy_channels = spec.channels.build_state(
+                        graph.num_nodes, graph.num_channels, replay
+                    )
+                system = ChannelAccessSystem(graph, policy_channels, seed=seed)
                 policy = policy_spec.build(system)
                 runs[policy_spec.display_label] = system.simulate_periodic(
                     policy,
@@ -453,6 +474,151 @@ def _run_periodic(spec: ScenarioSpec) -> ExperimentResult:
                 np.mean(estimated_rows, axis=0).tolist()
             )
     result.artifacts["periodic_runs"] = runs_by_cell
+    return result
+
+
+def _run_dynamic(spec: ScenarioSpec) -> ExperimentResult:
+    """Churn / mobility / link-flap regime: per-round learning on a changing
+    topology (``spec.dynamics`` present, see :mod:`repro.dynamics`).
+
+    The event schedule is generated deterministically from the scenario seed
+    and is identical across policies and replications, so the topology
+    trajectory (active nodes, dynamic-oracle value) is a property of the
+    scenario while the reward traces are averaged over replication streams.
+    """
+    from repro.dynamics.engine import DynamicStrategyEngine
+    from repro.dynamics.graph import index_frame
+    from repro.sim.dynamic import DynamicSimulator
+
+    def materialize():
+        rng = np.random.default_rng(spec.seed)
+        graph = spec.topology.build(rng)
+        channels = spec.channels.build_state(graph.num_nodes, graph.num_channels, rng)
+        return graph, channels
+
+    graph, channels = materialize()
+    num_rounds = spec.schedule.num_rounds
+    schedule = spec.dynamics.build_schedule(graph, num_rounds, spec.seed)
+    timing = TimingConfig.paper_defaults()
+    index_graph = index_frame(graph.num_nodes, graph.num_channels)
+    reward_scale = float(channels.mean_matrix().max())
+    theta = float(timing.theta)
+    replications = spec.replication.replications
+
+    result = ExperimentResult(scenario=spec.name, mode="dynamic", spec=spec.to_dict())
+    result.summary["theta"] = theta
+    result.summary["replications"] = float(replications)
+    result.summary["num_events"] = float(schedule.num_events)
+    result.summary["num_event_rounds"] = float(len(schedule.event_rounds))
+    result.summary["event_rate"] = float(schedule.num_events) / float(num_rounds)
+
+    children = child_seed_sequences(spec.seed, replications)
+    runs_by_label: Dict[str, List[object]] = {}
+    for policy_spec in spec.policies:
+        label = policy_spec.display_label
+        runs = []
+        for child in children:
+            run_graph, run_channels = graph, channels
+            if channels.has_stateful_models:
+                # Stateful models carry chain/cursor state across samples;
+                # every run gets a freshly materialized environment (the
+                # same seed replays the identical construction).
+                run_graph, run_channels = materialize()
+            engine = DynamicStrategyEngine(
+                run_graph,
+                r=policy_spec.r,
+                local_solver=policy_spec.build_local_solver(index_graph.num_vertices),
+            )
+            policy = policy_spec.build_dynamic(engine, index_graph, reward_scale)
+            simulator = DynamicSimulator(
+                engine,
+                run_channels,
+                schedule,
+                timing=timing,
+                rng=np.random.default_rng(child),
+                compute_optimal=spec.compute_optimal,
+                frame=index_graph,
+            )
+            runs.append(simulator.run(policy, num_rounds))
+        runs_by_label[label] = runs
+
+        expected_matrix = np.array(
+            [run.expected_reward_trace() for run in runs], dtype=float
+        )
+        result.replication_series[f"expected_reward[{label}]"] = [
+            row.tolist() for row in expected_matrix
+        ]
+        expected = expected_matrix.mean(axis=0)
+        result.series[f"expected_reward[{label}]"] = expected.tolist()
+        result.series[f"effective_throughput[{label}]"] = (theta * expected).tolist()
+        result.series[f"protocol_mini_rounds[{label}]"] = np.mean(
+            [run.mini_rounds_trace() for run in runs], axis=0
+        ).tolist()
+        result.series[f"protocol_messages[{label}]"] = np.mean(
+            [run.messages_trace() for run in runs], axis=0
+        ).tolist()
+        result.summary[f"total_messages[{label}]"] = float(
+            np.mean([run.total_messages() for run in runs])
+        )
+        result.summary[f"total_deliveries[{label}]"] = float(
+            np.mean([run.total_deliveries() for run in runs])
+        )
+        if spec.compute_optimal:
+            regret = np.mean(
+                [run.dynamic_regret_trace() for run in runs], axis=0
+            )
+            result.series[f"dynamic_regret[{label}]"] = regret.tolist()
+            result.series[f"cumulative_dynamic_regret[{label}]"] = np.cumsum(
+                regret
+            ).tolist()
+            result.summary[f"mean_dynamic_regret[{label}]"] = float(regret.mean())
+        if runs[0].event_batches:
+            result.summary[f"avg_reconvergence_mini_rounds[{label}]"] = float(
+                np.mean(
+                    [
+                        np.mean([b.reconvergence_mini_rounds for b in run.event_batches])
+                        for run in runs
+                    ]
+                )
+            )
+            result.summary[f"avg_messages_per_event_round[{label}]"] = float(
+                np.mean(
+                    [np.mean([b.messages for b in run.event_batches]) for run in runs]
+                )
+            )
+
+    first = runs_by_label[spec.policies[0].display_label][0]
+    result.series["active_nodes"] = first.active_nodes_trace().tolist()
+    result.series["events_per_round"] = [
+        float(len(schedule.events_for_round(t))) for t in range(1, num_rounds + 1)
+    ]
+    if spec.compute_optimal:
+        result.series["dynamic_optimal"] = first.optimal_value_trace().tolist()
+    for batch in first.event_batches:
+        record: Dict[str, float] = {
+            "round": float(batch.round_index),
+            "num_events": float(batch.num_events),
+            "touched_vertices": float(batch.touched_vertices),
+            "recomputed_neighborhoods": float(batch.recomputed_neighborhoods),
+            "active_nodes": float(batch.active_nodes),
+            "num_edges": float(batch.num_edges),
+        }
+        for label, runs in runs_by_label.items():
+            matching = [
+                next(
+                    b for b in run.event_batches if b.round_index == batch.round_index
+                )
+                for run in runs
+            ]
+            record[f"reconvergence_mini_rounds[{label}]"] = float(
+                np.mean([b.reconvergence_mini_rounds for b in matching])
+            )
+            record[f"messages[{label}]"] = float(
+                np.mean([b.messages for b in matching])
+            )
+        result.records[f"event@r{batch.round_index}"] = record
+    result.artifacts["runs"] = runs_by_label
+    result.artifacts["schedule"] = schedule
     return result
 
 
@@ -517,6 +683,18 @@ def _run_protocol(spec: ScenarioSpec) -> ExperimentResult:
             "max_messages_per_vertex": float(
                 costs.communication.max_messages_per_vertex
             ),
+            "total_messages": float(costs.communication.total_messages),
+            "total_deliveries": float(costs.communication.total_deliveries),
+            "mini_timeslots_wb": float(
+                costs.communication.mini_timeslots_per_phase.get("WB", 0)
+            ),
+            "mini_timeslots_ld": float(
+                costs.communication.mini_timeslots_per_phase.get("LD", 0)
+            ),
+            "mini_timeslots_lb": float(
+                costs.communication.mini_timeslots_per_phase.get("LB", 0)
+            ),
+            "total_mini_timeslots": float(costs.communication.total_mini_timeslots),
             "message_bound": float(theoretical_message_bound(decision.r, mini_rounds)),
             "max_stored_weights": float(costs.max_stored_weights),
             "space_bound": float(theoretical_space_bound(costs.max_stored_weights)),

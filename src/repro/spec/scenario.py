@@ -16,6 +16,7 @@ The tree::
     ├── ChannelSpec       which ground-truth channel state to attach
     ├── PolicySpec        one per learning policy under test (a tuple)
     ├── ScheduleSpec      per-round | periodic | protocol
+    ├── DynamicsSpec      optional topology dynamics (churn / flap / mobility)
     └── ReplicationSpec   how many seed-streamed replications, how many jobs
 
 Running a spec is :func:`repro.spec.runner.run_scenario`; naming and sharing
@@ -47,6 +48,7 @@ __all__ = [
     "ChannelSpec",
     "PolicySpec",
     "ScheduleSpec",
+    "DynamicsSpec",
     "ReplicationSpec",
     "ScenarioSpec",
 ]
@@ -112,6 +114,24 @@ def _choice(value, options: Sequence[str], path: str) -> str:
             f"{path}: unknown value {value!r}; choose one of {sorted(options)}"
         )
     return value
+
+
+def _reject_foreign_fields(spec, owner_kinds: Mapping[str, Sequence[str]], path: str) -> None:
+    """Reject non-default values of fields that the chosen kind never reads.
+
+    A silently ignored knob is worse than an error: it changes the content
+    hash (planning no-op sweep axes that recompute identical results) while
+    changing nothing about the run.  ``owner_kinds`` maps field name to the
+    kinds that actually consume it.
+    """
+    defaults = {f.name: f.default for f in fields(spec)}
+    for name, kinds in owner_kinds.items():
+        if spec.kind not in kinds and getattr(spec, name) != defaults[name]:
+            owners = "/".join(f"'{kind}'" for kind in kinds)
+            raise SpecError(
+                f"{path}.{name}: only meaningful with kind={owners} "
+                f"(got kind={spec.kind!r})"
+            )
 
 
 # ----------------------------------------------------------------------
@@ -241,7 +261,11 @@ class TopologySpec:
 # ----------------------------------------------------------------------
 # ChannelSpec
 # ----------------------------------------------------------------------
-CHANNEL_KINDS = ("paper-rates", "mean-matrix")
+CHANNEL_KINDS = ("paper-rates", "mean-matrix", "gilbert-elliott", "adversarial")
+
+#: Channel kinds whose models mutate internal state on sampling; they cannot
+#: be averaged over replications (successive draws are coupled).
+STATEFUL_CHANNEL_KINDS = ("gilbert-elliott", "adversarial")
 
 
 @dataclass(frozen=True)
@@ -253,17 +277,39 @@ class ChannelSpec:
     channel as an i.i.d. zero-clipped Gaussian with ``relative_std`` of the
     mean; ``mean-matrix`` pins the exact ``(N, M)`` mean matrix in the spec,
     making the scenario's environment fully declarative.
+
+    The beyond-i.i.d. models of the paper's future-work section
+    (:mod:`repro.channels.dynamics`) are reachable declaratively too:
+    ``gilbert-elliott`` gives every (node, channel) pair a two-state Markov
+    channel whose good-state rate is drawn from the rate pool (bad rate =
+    ``ge_bad_fraction`` of it); ``adversarial`` commits every pair to a
+    seeded oblivious gain sequence of length ``adversarial_period`` drawn
+    from the pool.  Both are *stateful*, so scenarios using them are
+    restricted to one replication.
     """
 
     kind: str = "paper-rates"
     relative_std: float = DEFAULT_RELATIVE_STD
-    #: Custom rate pool for ``paper-rates`` (``None`` = the paper catalogue).
+    #: Custom rate pool (``None`` = the paper catalogue); used by every kind
+    #: except ``mean-matrix``.
     rates: Optional[Tuple[float, ...]] = None
     #: Pinned mean matrix for ``mean-matrix`` (row per node).
     means: Optional[Tuple[Tuple[float, ...], ...]] = None
+    #: Gilbert-Elliott: bad-state rate as a fraction of the good-state rate.
+    ge_bad_fraction: float = 0.25
+    #: Gilbert-Elliott transition probabilities per sample.
+    ge_p_good_to_bad: float = 0.1
+    ge_p_bad_to_good: float = 0.3
+    #: Adversarial: length of each pair's committed gain sequence.
+    adversarial_period: int = 16
 
     def __post_init__(self) -> None:
         self.validate()
+
+    @property
+    def is_stateful(self) -> bool:
+        """Whether this environment's models mutate state on sampling."""
+        return self.kind in STATEFUL_CHANNEL_KINDS
 
     def validate(self, path: str = "channels") -> None:
         """Raise :class:`SpecError` when the channel spec is ill-formed."""
@@ -276,7 +322,7 @@ class ChannelSpec:
             raise SpecError(
                 f"{path}.relative_std: must be non-negative, got {self.relative_std}"
             )
-        if self.kind == "paper-rates":
+        if self.kind != "mean-matrix":
             if self.means is not None:
                 raise SpecError(
                     f"{path}.means: only valid with kind='mean-matrix' "
@@ -287,7 +333,7 @@ class ChannelSpec:
         if self.kind == "mean-matrix":
             if self.rates is not None:
                 raise SpecError(
-                    f"{path}.rates: only valid with kind='paper-rates' "
+                    f"{path}.rates: only valid with rate-pool kinds "
                     f"(got kind={self.kind!r})"
                 )
             if not self.means:
@@ -300,11 +346,86 @@ class ChannelSpec:
                 raise SpecError(
                     f"{path}.means: all rows must have the same positive length"
                 )
+        _reject_foreign_fields(
+            self,
+            {
+                "relative_std": ("paper-rates", "mean-matrix"),
+                "ge_bad_fraction": ("gilbert-elliott",),
+                "ge_p_good_to_bad": ("gilbert-elliott",),
+                "ge_p_bad_to_good": ("gilbert-elliott",),
+                "adversarial_period": ("adversarial",),
+            },
+            path,
+        )
+        if self.kind == "gilbert-elliott":
+            if not (0.0 <= self.ge_bad_fraction <= 1.0):
+                raise SpecError(
+                    f"{path}.ge_bad_fraction: must be in [0, 1], "
+                    f"got {self.ge_bad_fraction}"
+                )
+            for name in ("ge_p_good_to_bad", "ge_p_bad_to_good"):
+                value = getattr(self, name)
+                if not (0.0 <= value <= 1.0):
+                    raise SpecError(f"{path}.{name}: must be in [0, 1], got {value}")
+            if self.ge_p_good_to_bad + self.ge_p_bad_to_good == 0.0:
+                raise SpecError(
+                    f"{path}: the Gilbert-Elliott chain must be able to move "
+                    "between states (both transition probabilities are 0)"
+                )
+        if self.kind == "adversarial" and self.adversarial_period < 1:
+            raise SpecError(
+                f"{path}.adversarial_period: must be >= 1, "
+                f"got {self.adversarial_period}"
+            )
+
+    def _build_stateful_models(
+        self, num_nodes: int, num_channels: int, rng: np.random.Generator
+    ):
+        """Per-pair model grid for the stateful kinds (one rng stream)."""
+        from repro.channels.catalog import PAPER_RATES_KBPS
+        from repro.channels.dynamics import AdversarialChannel, GilbertElliottChannel
+
+        pool = np.asarray(
+            self.rates if self.rates is not None else PAPER_RATES_KBPS, dtype=float
+        )
+        if self.kind == "gilbert-elliott":
+            good = assign_rates_to_network(
+                num_nodes, num_channels, rng=rng, rates=self.rates
+            )
+            return [
+                [
+                    GilbertElliottChannel(
+                        good_rate=float(good[node, channel]),
+                        bad_rate=float(good[node, channel]) * self.ge_bad_fraction,
+                        p_good_to_bad=self.ge_p_good_to_bad,
+                        p_bad_to_good=self.ge_p_bad_to_good,
+                    )
+                    for channel in range(num_channels)
+                ]
+                for node in range(num_nodes)
+            ]
+        if self.kind == "adversarial":
+            draws = rng.integers(
+                0, pool.size, size=(num_nodes, num_channels, self.adversarial_period)
+            )
+            return [
+                [
+                    AdversarialChannel(pool[draws[node, channel]].tolist())
+                    for channel in range(num_channels)
+                ]
+                for node in range(num_nodes)
+            ]
+        raise SpecError(f"unhandled stateful channel kind {self.kind!r}")  # pragma: no cover
 
     def build_means(
         self, num_nodes: int, num_channels: int, rng: np.random.Generator
     ) -> np.ndarray:
-        """The ``(N, M)`` true-mean matrix of this environment."""
+        """The ``(N, M)`` true-mean matrix of this environment.
+
+        For the stateful kinds the means are the stationary (Gilbert-Elliott)
+        or sequence-average (adversarial) means of the seeded models, so they
+        consume the generator exactly like :meth:`build_state` does.
+        """
         if self.kind == "mean-matrix":
             means = np.asarray(self.means, dtype=float)
             if means.shape != (num_nodes, num_channels):
@@ -313,6 +434,11 @@ class ChannelSpec:
                     f"topology ({num_nodes} nodes x {num_channels} channels)"
                 )
             return means
+        if self.is_stateful:
+            models = self._build_stateful_models(num_nodes, num_channels, rng)
+            return np.array(
+                [[model.mean for model in row] for row in models], dtype=float
+            )
         return assign_rates_to_network(
             num_nodes, num_channels, rng=rng, rates=self.rates
         )
@@ -321,6 +447,10 @@ class ChannelSpec:
         self, num_nodes: int, num_channels: int, rng: np.random.Generator
     ) -> ChannelState:
         """Materialize the :class:`~repro.channels.state.ChannelState`."""
+        if self.is_stateful:
+            return ChannelState(
+                self._build_stateful_models(num_nodes, num_channels, rng)
+            )
         means = self.build_means(num_nodes, num_channels, rng)
         return ChannelState.from_mean_matrix(means, relative_std=self.relative_std)
 
@@ -331,6 +461,10 @@ class ChannelSpec:
             "relative_std": self.relative_std,
             "rates": list(self.rates) if self.rates is not None else None,
             "means": [list(row) for row in self.means] if self.means is not None else None,
+            "ge_bad_fraction": self.ge_bad_fraction,
+            "ge_p_good_to_bad": self.ge_p_good_to_bad,
+            "ge_p_bad_to_good": self.ge_p_bad_to_good,
+            "adversarial_period": self.adversarial_period,
         }
 
     @classmethod
@@ -341,9 +475,12 @@ class ChannelSpec:
         kwargs: Dict[str, object] = {}
         if "kind" in data:
             kwargs["kind"] = _choice(data["kind"], CHANNEL_KINDS, f"{path}.kind")
-        if "relative_std" in data:
-            kwargs["relative_std"] = _as_float(
-                data["relative_std"], f"{path}.relative_std"
+        for name in ("relative_std", "ge_bad_fraction", "ge_p_good_to_bad", "ge_p_bad_to_good"):
+            if name in data:
+                kwargs[name] = _as_float(data[name], f"{path}.{name}")
+        if "adversarial_period" in data:
+            kwargs["adversarial_period"] = _as_int(
+                data["adversarial_period"], f"{path}.adversarial_period"
             )
         if data.get("rates") is not None:
             raw = data["rates"]
@@ -438,15 +575,10 @@ class PolicySpec:
         # Imported here: repro.api imports repro.sim, which this module must
         # stay importable without at class-definition time.
         from repro.distributed.framework import DistributedMWISSolver
-        from repro.mwis.greedy import GreedyMWISSolver
 
         if self.kind == "oracle":
             return system.oracle_policy()
-        local_solver = (
-            GreedyMWISSolver()
-            if self.use_greedy_local_solver(system.extended_graph.num_vertices)
-            else None
-        )
+        local_solver = self.build_local_solver(system.extended_graph.num_vertices)
         solver = DistributedMWISSolver(
             system.extended_graph, r=self.r, local_solver=local_solver
         )
@@ -455,6 +587,41 @@ class PolicySpec:
         if self.kind == "llr":
             return system.llr_policy(solver=solver, r=self.r)
         raise SpecError(f"unhandled policy kind {self.kind!r}")  # pragma: no cover
+
+    def build_local_solver(self, num_vertices: int):
+        """The protocol's local MWIS solver this spec selects (or ``None``).
+
+        ``None`` means exact enumeration (the protocol default); the greedy
+        constant-approximation is returned per the ``solver`` field / the
+        auto threshold.  Shared by the static builder and the dynamics
+        engine so ``--set policies.0.solver=...`` reaches both.
+        """
+        from repro.mwis.greedy import GreedyMWISSolver
+
+        return GreedyMWISSolver() if self.use_greedy_local_solver(num_vertices) else None
+
+    def build_dynamic(self, engine, index_graph, reward_scale: float):
+        """Materialize the policy against a dynamic-topology engine.
+
+        ``engine`` is a :class:`~repro.dynamics.engine.DynamicStrategyEngine`;
+        ``index_graph`` the static arm-index frame (vertex <-> (node,
+        channel) never changes under dynamics).  The policy's strategy
+        decisions run through :meth:`engine.solver`, so they always see the
+        current topology.  ``oracle`` has no meaning under a changing
+        topology and is rejected by :meth:`ScenarioSpec.validate`.
+        """
+        from repro.core.policies import CombinatorialUCBPolicy, LLRPolicy
+
+        solver = engine.solver()
+        if self.kind == "algorithm2":
+            return CombinatorialUCBPolicy(
+                index_graph, solver=solver, reward_scale=reward_scale
+            )
+        if self.kind == "llr":
+            return LLRPolicy(index_graph, solver=solver, reward_scale=reward_scale)
+        raise SpecError(
+            f"policy kind {self.kind!r} is not supported under dynamics"
+        )
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-ready representation (inverse of :meth:`from_dict`)."""
@@ -573,6 +740,226 @@ class ScheduleSpec:
 
 
 # ----------------------------------------------------------------------
+# DynamicsSpec
+# ----------------------------------------------------------------------
+DYNAMICS_KINDS = ("poisson-churn", "periodic-flap", "random-waypoint", "trace")
+
+#: Topology kinds that carry node positions (eligible for mobility and for
+#: repositioning arrivals).
+GEOMETRIC_TOPOLOGY_KINDS = ("random", "connected-random", "linear", "grid")
+
+#: Spawn-key tag separating the dynamics event stream from the topology /
+#: channel draw stream rooted at the same scenario seed.
+_DYNAMICS_STREAM_TAG = 0xD1CE
+
+
+@dataclass(frozen=True)
+class DynamicsSpec:
+    """Topology dynamics threaded between learning rounds.
+
+    When present on a :class:`ScenarioSpec` (per-round schedules only), a
+    deterministic, seeded event schedule is generated from the scenario
+    seed and applied between rounds by
+    :class:`~repro.sim.dynamic.DynamicSimulator`:
+
+    * ``poisson-churn`` — ``Poisson(rate)`` node departures/arrivals per
+      round (arrivals with probability ``arrival_bias`` when a departed
+      node exists; the active population never drops below ``min_active``);
+    * ``periodic-flap`` — a seeded ``flap_fraction`` of the conflict edges
+      goes down/up every ``period`` rounds;
+    * ``random-waypoint`` — every node walks toward uniform waypoints at
+      ``speed`` distance units per round, sampled every ``step_every``
+      rounds (geometric topologies only);
+    * ``trace`` — the scripted ``trace`` events are replayed verbatim.
+    """
+
+    kind: str = "poisson-churn"
+    #: Poisson churn: expected topology events per learning round.
+    rate: float = 0.02
+    arrival_bias: float = 0.5
+    min_active: int = 1
+    #: Periodic flap: rounds between toggles and edge fraction flapped.
+    period: int = 50
+    flap_fraction: float = 0.2
+    #: Random waypoint: speed (distance units / round) and sampling stride.
+    speed: float = 0.5
+    step_every: int = 10
+    #: Scripted events for ``kind='trace'``.
+    trace: Tuple[object, ...] = ()
+
+    def __post_init__(self) -> None:
+        # Normalize trace entries to event objects so specs built from
+        # Python literals and specs deserialized from JSON compare equal.
+        if self.trace:
+            from repro.dynamics.events import TopologyEvent, event_from_dict
+
+            normalized = []
+            for index, entry in enumerate(self.trace):
+                if isinstance(entry, TopologyEvent):
+                    normalized.append(entry)
+                else:
+                    try:
+                        normalized.append(
+                            event_from_dict(entry, f"dynamics.trace[{index}]")
+                        )
+                    except ValueError as err:
+                        raise SpecError(str(err)) from None
+            object.__setattr__(self, "trace", tuple(normalized))
+        self.validate()
+
+    def validate(self, path: str = "dynamics") -> None:
+        """Raise :class:`SpecError` when the dynamics spec is ill-formed."""
+        if self.kind not in DYNAMICS_KINDS:
+            raise SpecError(
+                f"{path}.kind: unknown dynamics kind {self.kind!r}; "
+                f"choose one of {sorted(DYNAMICS_KINDS)}"
+            )
+        _reject_foreign_fields(
+            self,
+            {
+                "rate": ("poisson-churn",),
+                "arrival_bias": ("poisson-churn",),
+                "min_active": ("poisson-churn",),
+                "period": ("periodic-flap",),
+                "flap_fraction": ("periodic-flap",),
+                "speed": ("random-waypoint",),
+                "step_every": ("random-waypoint",),
+                "trace": ("trace",),
+            },
+            path,
+        )
+        if self.kind == "poisson-churn":
+            if self.rate <= 0:
+                raise SpecError(f"{path}.rate: must be positive, got {self.rate}")
+            if not (0.0 <= self.arrival_bias <= 1.0):
+                raise SpecError(
+                    f"{path}.arrival_bias: must be in [0, 1], got {self.arrival_bias}"
+                )
+            if self.min_active < 1:
+                raise SpecError(
+                    f"{path}.min_active: at least one node must stay active, "
+                    f"got {self.min_active}"
+                )
+        if self.kind == "periodic-flap":
+            if self.period < 1:
+                raise SpecError(f"{path}.period: must be >= 1, got {self.period}")
+            if not (0.0 < self.flap_fraction <= 1.0):
+                raise SpecError(
+                    f"{path}.flap_fraction: must be in (0, 1], got {self.flap_fraction}"
+                )
+        if self.kind == "random-waypoint":
+            if self.speed <= 0:
+                raise SpecError(f"{path}.speed: must be positive, got {self.speed}")
+            if self.step_every < 1:
+                raise SpecError(
+                    f"{path}.step_every: must be >= 1, got {self.step_every}"
+                )
+        if self.kind == "trace" and not self.trace:
+            raise SpecError(
+                f"{path}.trace: kind='trace' needs at least one scripted event"
+            )
+        from repro.dynamics.events import TopologyEvent
+
+        for index, event in enumerate(self.trace):
+            if not isinstance(event, TopologyEvent):  # pragma: no cover - normalized
+                raise SpecError(
+                    f"{path}.trace[{index}]: expected a topology event object"
+                )
+            try:
+                event.validate(f"{path}.trace[{index}]")
+            except ValueError as err:
+                raise SpecError(str(err)) from None
+
+    def build_schedule(self, graph, num_rounds: int, seed: int):
+        """Generate this spec's deterministic event schedule.
+
+        The event stream is spawned from ``(seed, dynamics tag)`` so it is
+        independent of the topology / channel draws rooted at the same seed,
+        and identical across replications of one scenario.
+        """
+        from repro.dynamics.events import (
+            EventSchedule,
+            periodic_flap_schedule,
+            poisson_churn_schedule,
+            random_waypoint_schedule,
+        )
+
+        rng = np.random.default_rng([seed, _DYNAMICS_STREAM_TAG])
+        if self.kind == "poisson-churn":
+            return poisson_churn_schedule(
+                graph,
+                num_rounds,
+                rate=self.rate,
+                rng=rng,
+                arrival_bias=self.arrival_bias,
+                min_active=self.min_active,
+            )
+        if self.kind == "periodic-flap":
+            return periodic_flap_schedule(
+                graph, num_rounds, period=self.period,
+                flap_fraction=self.flap_fraction, rng=rng,
+            )
+        if self.kind == "random-waypoint":
+            try:
+                return random_waypoint_schedule(
+                    graph, num_rounds, speed=self.speed,
+                    step_every=self.step_every, rng=rng,
+                )
+            except ValueError as err:
+                raise SpecError(f"dynamics: {err}") from None
+        if self.kind == "trace":
+            return EventSchedule(
+                event for event in self.trace if event.round_index <= num_rounds
+            )
+        raise SpecError(f"unhandled dynamics kind {self.kind!r}")  # pragma: no cover
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation (inverse of :meth:`from_dict`)."""
+        return {
+            "kind": self.kind,
+            "rate": self.rate,
+            "arrival_bias": self.arrival_bias,
+            "min_active": self.min_active,
+            "period": self.period,
+            "flap_fraction": self.flap_fraction,
+            "speed": self.speed,
+            "step_every": self.step_every,
+            "trace": [event.to_dict() for event in self.trace],
+        }
+
+    @classmethod
+    def from_dict(cls, data, path: str = "dynamics") -> "DynamicsSpec":
+        """Deserialize, raising :class:`SpecError` with the offending path."""
+        data = _require_mapping(data, path)
+        _check_keys(data, cls, path)
+        kwargs: Dict[str, object] = {}
+        if "kind" in data:
+            kwargs["kind"] = _choice(data["kind"], DYNAMICS_KINDS, f"{path}.kind")
+        for name in ("rate", "arrival_bias", "flap_fraction", "speed"):
+            if name in data:
+                kwargs[name] = _as_float(data[name], f"{path}.{name}")
+        for name in ("min_active", "period", "step_every"):
+            if name in data:
+                kwargs[name] = _as_int(data[name], f"{path}.{name}")
+        if "trace" in data:
+            raw = data["trace"]
+            if not isinstance(raw, Sequence) or isinstance(raw, (str, bytes)):
+                raise SpecError(
+                    f"{path}.trace: expected a list of event objects, got {raw!r}"
+                )
+            from repro.dynamics.events import event_from_dict
+
+            events = []
+            for index, entry in enumerate(raw):
+                try:
+                    events.append(event_from_dict(entry, f"{path}.trace[{index}]"))
+                except ValueError as err:
+                    raise SpecError(str(err)) from None
+            kwargs["trace"] = tuple(events)
+        return cls(**kwargs)
+
+
+# ----------------------------------------------------------------------
 # ReplicationSpec
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
@@ -640,6 +1027,8 @@ class ScenarioSpec:
         PolicySpec(kind="llr"),
     )
     schedule: ScheduleSpec = field(default_factory=ScheduleSpec)
+    #: Topology dynamics threaded between rounds (per-round schedules only).
+    dynamics: Optional[DynamicsSpec] = None
     replication: ReplicationSpec = field(default_factory=ReplicationSpec)
     network_sweep: Tuple[Tuple[int, int], ...] = ()
     #: Approximation ratio assumed by the beta-regret benchmark (Fig. 7b).
@@ -710,6 +1099,44 @@ class ScenarioSpec:
                 f"{path}: a pinned channels.means matrix cannot be combined "
                 "with a network_sweep (the shape changes per cell)"
             )
+        if (
+            self.channels.is_stateful
+            and self.schedule.mode != "protocol"
+            and self.replication.replications > 1
+        ):
+            raise SpecError(
+                f"{path}.replication.replications: stateful channel models "
+                f"(kind={self.channels.kind!r}) couple successive draws and "
+                "cannot be averaged over replications; set replications=1"
+            )
+        if self.dynamics is not None:
+            self.dynamics.validate(f"{path}.dynamics")
+            if self.schedule.mode != "per-round":
+                raise SpecError(
+                    f"{path}.dynamics: topology dynamics need "
+                    f"schedule.mode='per-round' (got {self.schedule.mode!r})"
+                )
+            if self.network_sweep:
+                raise SpecError(
+                    f"{path}.dynamics: cannot be combined with a network_sweep"
+                )
+            for index, policy in enumerate(self.policies):
+                if policy.kind == "oracle":
+                    raise SpecError(
+                        f"{path}.policies[{index}]: the static oracle has no "
+                        "meaning under topology dynamics (the optimum changes "
+                        "with the topology); use compute_optimal for the "
+                        "dynamic-oracle benchmark instead"
+                    )
+            if (
+                self.dynamics.kind == "random-waypoint"
+                and self.topology.kind not in GEOMETRIC_TOPOLOGY_KINDS
+            ):
+                raise SpecError(
+                    f"{path}.dynamics.kind: random-waypoint mobility needs a "
+                    f"geometric topology ({sorted(GEOMETRIC_TOPOLOGY_KINDS)}), "
+                    f"got topology.kind={self.topology.kind!r}"
+                )
 
     # ------------------------------------------------------------------
     # Serialization
@@ -724,6 +1151,7 @@ class ScenarioSpec:
             "channels": self.channels.to_dict(),
             "policies": [policy.to_dict() for policy in self.policies],
             "schedule": self.schedule.to_dict(),
+            "dynamics": self.dynamics.to_dict() if self.dynamics is not None else None,
             "replication": self.replication.to_dict(),
             "network_sweep": [list(cell) for cell in self.network_sweep],
             "alpha": self.alpha,
@@ -763,6 +1191,10 @@ class ScenarioSpec:
         if "schedule" in data:
             kwargs["schedule"] = ScheduleSpec.from_dict(
                 data["schedule"], f"{path}.schedule"
+            )
+        if data.get("dynamics") is not None:
+            kwargs["dynamics"] = DynamicsSpec.from_dict(
+                data["dynamics"], f"{path}.dynamics"
             )
         if "replication" in data:
             kwargs["replication"] = ReplicationSpec.from_dict(

@@ -68,9 +68,14 @@ class SweepUnit:
 
 
 def plan_units(point: SweepPoint) -> List[SweepUnit]:
-    """Decompose one grid point into its work units (see module docstring)."""
+    """Decompose one grid point into its work units (see module docstring).
+
+    Dynamic-topology scenarios execute as whole-scenario units like periodic
+    and protocol runs: their envelopes carry cross-replication topology
+    series that a per-replication merge cannot reassemble.
+    """
     spec = point.spec
-    if spec.schedule.mode == "per-round":
+    if spec.schedule.mode == "per-round" and spec.dynamics is None:
         normalized = canonical_spec(spec, single_replication=True)
         return [
             SweepUnit(
@@ -290,6 +295,15 @@ def _headline(result: ExperimentResult) -> str:
             if name.startswith("effective_throughput[") and values
         ]
         return "final eff. throughput " + ", ".join(finals) if finals else "-"
+    if result.mode == "dynamic":
+        events = int(result.summary.get("num_events", 0))
+        reconvergence = [
+            f"{key.split('[', 1)[1].rstrip(']')}={value:.1f}"
+            for key, value in sorted(result.summary.items())
+            if key.startswith("avg_reconvergence_mini_rounds[")
+        ]
+        tail = f", reconv {', '.join(reconvergence)}" if reconvergence else ""
+        return f"{events} topology event(s){tail}"
     if result.mode == "protocol":
         cells = len(result.records)
         return f"{cells} network cell(s)"

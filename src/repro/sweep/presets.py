@@ -56,9 +56,18 @@ def _fig8_plan() -> SweepPlan:
     )
 
 
+def _churn_plan() -> SweepPlan:
+    return SweepPlan.from_grid(
+        "churn-rate-sweep",
+        get_scenario("churn-quick"),
+        {"dynamics.rate": [0.01, 0.03, 0.1]},
+        description="Regret and re-convergence cost vs. Poisson churn rate",
+    )
+
+
 def builtin_plans() -> Dict[str, SweepPlan]:
     """The named sweep plans shipped with the package (rebuilt per call)."""
-    plans = [_fig6_plan(), _fig7_plan(), _fig8_plan()]
+    plans = [_fig6_plan(), _fig7_plan(), _fig8_plan(), _churn_plan()]
     return {plan.name: plan for plan in plans}
 
 

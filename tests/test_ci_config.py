@@ -46,6 +46,7 @@ class TestWorkflow:
             "benchmark-trend",
             "cli-smoke",
             "sweep-smoke",
+            "dynamics-smoke",
         }
 
     def test_concurrency_cancels_in_progress_runs(self):
@@ -139,6 +140,27 @@ class TestWorkflow:
         assert any(
             "ExperimentResult.from_json" in command for command in commands
         ), "cli-smoke must validate the emitted JSON against the result schema"
+
+    def test_dynamics_smoke_runs_churn_and_dedups_the_sweep(self):
+        smoke = _load_workflow()["jobs"]["dynamics-smoke"]
+        commands = [step.get("run", "") for step in smoke["steps"]]
+        assert any(
+            "repro run churn-quick" in command and "--json" in command
+            for command in commands
+        ), "dynamics-smoke must run the churn scenario end-to-end"
+        assert any(
+            'result.mode == "dynamic"' in command
+            and "avg_reconvergence_mini_rounds" in command
+            for command in commands
+        ), "dynamics-smoke must validate the dynamic result envelope"
+        assert any(
+            "repro sweep churn-rate-sweep" in command
+            and "--backend process" in command
+            for command in commands
+        ), "dynamics-smoke must run the churn-rate sweep on the process backend"
+        assert any(
+            'second["computed"] == 0' in command for command in commands
+        ), "dynamics-smoke must assert the sweep re-run dedups against the store"
 
     def test_jobs_cache_pip_against_pyproject(self):
         jobs = _load_workflow()["jobs"]
