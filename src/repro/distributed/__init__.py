@@ -9,6 +9,14 @@ Implements the distributed strategy-decision machinery of the paper:
   with k-hop broadcast and per-vertex cost accounting.
 * :mod:`repro.distributed.vertex` -- per-vertex protocol state (statuses
   Candidate / LocalLeader / Winner / Loser and local knowledge).
+* :mod:`repro.distributed.transport` -- the :class:`Transport` interface all
+  protocol messages travel through, plus the oracle-backed
+  :class:`SimulatedTransport`.
+* :mod:`repro.distributed.serialize` -- the versioned JSON wire codec for
+  control messages.
+* :mod:`repro.distributed.runtime` -- the message-driven
+  :class:`VertexProtocol` state machine, the :class:`ProtocolEngine` driver
+  and the real :class:`AsyncioTransport`.
 * :mod:`repro.distributed.ptas` -- the distributed robust PTAS (Algorithm 3).
 * :mod:`repro.distributed.framework` -- the per-round strategy decision
   wrapper used by Algorithm 2, exposing the :class:`repro.mwis.MWISSolver`
@@ -25,6 +33,20 @@ from repro.distributed.messages import (
 )
 from repro.distributed.network import MessageNetwork
 from repro.distributed.vertex import VertexStatus, VertexAgent
+from repro.distributed.transport import Transport, SimulatedTransport
+from repro.distributed.serialize import (
+    WIRE_SCHEMA,
+    WireError,
+    decode_message,
+    encode_message,
+    frame_to_message,
+    message_to_frame,
+)
+from repro.distributed.runtime import (
+    AsyncioTransport,
+    ProtocolEngine,
+    VertexProtocol,
+)
 from repro.distributed.ptas import (
     DistributedRobustPTAS,
     MiniRoundRecord,
@@ -52,8 +74,19 @@ __all__ = [
     "LeaderDeclaration",
     "StatusDetermination",
     "MessageNetwork",
+    "Transport",
+    "SimulatedTransport",
+    "AsyncioTransport",
+    "WIRE_SCHEMA",
+    "WireError",
+    "encode_message",
+    "decode_message",
+    "message_to_frame",
+    "frame_to_message",
     "VertexStatus",
     "VertexAgent",
+    "VertexProtocol",
+    "ProtocolEngine",
     "DistributedRobustPTAS",
     "MiniRoundRecord",
     "ProtocolResult",

@@ -81,6 +81,10 @@ class MessageNetwork:
             )
         if message.hop_limit < 0:
             raise ValueError(f"hop_limit must be non-negative, got {message.hop_limit}")
+        if message.hop_limit == 0:
+            # A zero-hop broadcast reaches nobody; nothing is transmitted, so
+            # neither the message counter nor the timeslot budget is charged.
+            return 0
         recipients = self._neighborhood(sender, message.hop_limit) - {sender}
         for recipient in recipients:
             self._inboxes[recipient].append(message)
@@ -110,6 +114,11 @@ class MessageNetwork:
         """Number of vertices the network connects."""
         return self._num_vertices
 
+    @property
+    def adjacency(self) -> Sequence[Set[int]]:
+        """Adjacency sets of the graph the network routes over."""
+        return self._adjacency
+
     def messages_sent(self, vertex: Optional[int] = None):
         """Messages originated by ``vertex`` (or the per-vertex list)."""
         if vertex is None:
@@ -137,3 +146,8 @@ class MessageNetwork:
         self._messages_sent = [0] * self._num_vertices
         self._deliveries = 0
         self._mini_timeslots = defaultdict(int)
+
+    def reset(self) -> None:
+        """Discard all undelivered messages and zero all counters."""
+        self._inboxes = [[] for _ in range(self._num_vertices)]
+        self.reset_costs()

@@ -1,7 +1,8 @@
 """Distributed robust PTAS for strategy decision (Algorithm 3 of the paper).
 
-Every mini-round proceeds in three logical phases, all realised through the
-simulated control channel (:class:`repro.distributed.network.MessageNetwork`):
+Every mini-round proceeds in three logical phases, realised by the
+message-driven state machines of :mod:`repro.distributed.runtime` over a
+:class:`~repro.distributed.transport.Transport`:
 
 1. *LocalLeader selection (LS/LD)* -- every Candidate that is the
    maximum-weight Candidate of its (2r+1)-hop neighbourhood declares itself
@@ -23,54 +24,24 @@ achieving the same approximation ratio as the centralized robust PTAS
 (Theorem 3); with a truncated number of mini-rounds ``D`` the output is still
 a constant-factor approximation on random networks (Theorem 4) -- experiment
 E1 / Fig. 6 measures exactly this convergence.
+
+This class is the user-facing wrapper: it validates parameters, precomputes
+the neighbourhood tables once per topology, and runs the protocol over
+either an internally-built :class:`~repro.distributed.transport.
+SimulatedTransport` (the back-compat ``adjacency``-only path) or any
+transport passed via ``transport=`` — including the real asyncio runtime.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set
+from typing import Dict, Iterable, List, Optional, Sequence, Set
 
-from repro.distributed.costs import CommunicationCosts, ComputationCosts, RoundCosts
-from repro.distributed.messages import LeaderDeclaration, StatusDetermination, WeightBroadcast
-from repro.distributed.network import MessageNetwork
-from repro.distributed.vertex import VertexAgent, VertexStatus
+from repro.distributed.runtime import MiniRoundRecord, ProtocolEngine, ProtocolResult
+from repro.distributed.transport import SimulatedTransport, Transport
 from repro.graph.neighborhoods import r_hop_neighborhood
-from repro.mwis.base import Adjacency, IndependentSet, MWISSolver, is_independent
-from repro.mwis.local import solve_local_mwis
+from repro.mwis.base import Adjacency, MWISSolver
 
 __all__ = ["MiniRoundRecord", "ProtocolResult", "DistributedRobustPTAS"]
-
-
-@dataclass(frozen=True)
-class MiniRoundRecord:
-    """What happened during one mini-round of Algorithm 3."""
-
-    index: int
-    leaders: FrozenSet[int]
-    new_winners: FrozenSet[int]
-    new_losers: FrozenSet[int]
-    cumulative_weight: float
-    remaining_candidates: int
-
-
-@dataclass
-class ProtocolResult:
-    """Outcome of one full execution of the distributed robust PTAS."""
-
-    independent_set: IndependentSet
-    mini_rounds: List[MiniRoundRecord] = field(default_factory=list)
-    costs: RoundCosts = field(default_factory=RoundCosts)
-    #: ``True`` when every vertex was marked before the mini-round budget ran out.
-    converged: bool = True
-
-    @property
-    def num_mini_rounds(self) -> int:
-        """Number of executed mini-rounds."""
-        return len(self.mini_rounds)
-
-    def weight_trajectory(self) -> List[float]:
-        """Cumulative Winner weight after each mini-round (the Fig. 6 series)."""
-        return [record.cumulative_weight for record in self.mini_rounds]
 
 
 class DistributedRobustPTAS:
@@ -83,7 +54,8 @@ class DistributedRobustPTAS:
     Parameters
     ----------
     adjacency:
-        Adjacency sets of the extended conflict graph ``H``.
+        Adjacency sets of the extended conflict graph ``H``.  May be omitted
+        when ``transport`` is given (the transport's adjacency is used).
     r:
         The PTAS radius (the paper's simulations use ``r = 2``).
     max_mini_rounds:
@@ -102,17 +74,36 @@ class DistributedRobustPTAS:
         ``r + 1``, ``2r + 1`` and ``3r + 2``; lists are kept *by reference*,
         which lets :mod:`repro.dynamics` maintain them incrementally while
         the protocol keeps running on the live topology.
+    transport:
+        Optional :class:`~repro.distributed.transport.Transport` instance to
+        run the protocol over.  It is :meth:`~repro.distributed.transport.
+        Transport.reset` before every :meth:`run` so per-run cost reports
+        never mix rounds.  When omitted, each run builds a fresh
+        :class:`~repro.distributed.transport.SimulatedTransport` over
+        ``adjacency`` (the historical behaviour, bit for bit).
     """
 
     def __init__(
         self,
-        adjacency: Adjacency,
+        adjacency: Optional[Adjacency] = None,
         r: int = 2,
         max_mini_rounds: Optional[int] = None,
         local_solver: Optional[MWISSolver] = None,
         master_of: Optional[Sequence[int]] = None,
         precomputed_neighborhoods: Optional[Dict[int, List[Set[int]]]] = None,
+        transport: Optional[Transport] = None,
     ) -> None:
+        if adjacency is None:
+            if transport is None:
+                raise ValueError(
+                    "DistributedRobustPTAS needs an adjacency, a transport, or both"
+                )
+            adjacency = transport.adjacency
+        if transport is not None and transport.num_vertices != len(adjacency):
+            raise ValueError(
+                f"transport connects {transport.num_vertices} vertices but the "
+                f"adjacency has {len(adjacency)}"
+            )
         if r < 1:
             raise ValueError(
                 "r must be at least 1 for the protocol's knowledge horizons to "
@@ -128,6 +119,7 @@ class DistributedRobustPTAS:
         self._max_mini_rounds = max_mini_rounds
         self._local_solver = local_solver
         self._master_of = list(master_of) if master_of is not None else None
+        self._transport = transport
         # Precompute the neighbourhood radii used by the protocol: r for the
         # local MWIS, r+1 for the Loser ball, 2r+1 for knowledge/elections and
         # 3r+2 for the determination broadcast.  The paper broadcasts within
@@ -153,6 +145,14 @@ class DistributedRobustPTAS:
             self._hood_r1 = self._all_neighborhoods(r + 1)
             self._hood_2r1 = self._all_neighborhoods(2 * r + 1)
             self._hood_lb = self._all_neighborhoods(3 * r + 2)
+        self._engine = ProtocolEngine(
+            self._adjacency,
+            r=self._r,
+            hood_r=self._hood_r,
+            hood_r1=self._hood_r1,
+            hood_2r1=self._hood_2r1,
+            local_solver=self._local_solver,
+        )
 
     # ------------------------------------------------------------------
     # Precomputation helpers
@@ -172,6 +172,25 @@ class DistributedRobustPTAS:
     def num_vertices(self) -> int:
         """Number of vertices of the extended graph."""
         return self._num_vertices
+
+    @property
+    def transport(self) -> Optional[Transport]:
+        """The externally-supplied transport (``None`` = simulated per run)."""
+        return self._transport
+
+    def transport_neighborhoods(self) -> Dict[int, List[Set[int]]]:
+        """The broadcast-radius neighbourhood tables, for external transports.
+
+        A transport built over the same graph can share these caches instead
+        of recomputing k-hop routing (the radii cover every broadcast the
+        protocol emits plus the local-MWIS radius ``r``).
+        """
+        return {
+            self._r: self._hood_r,
+            self._r + 1: self._hood_r1,
+            2 * self._r + 1: self._hood_2r1,
+            3 * self._r + 2: self._hood_lb,
+        }
 
     # ------------------------------------------------------------------
     # Protocol execution
@@ -207,248 +226,21 @@ class DistributedRobustPTAS:
             raise ValueError(f"max_mini_rounds must be positive, got {budget}")
         hard_limit = self._num_vertices if budget is None else min(budget, max(1, self._num_vertices))
 
-        network = MessageNetwork(
-            self._adjacency,
-            precomputed_neighborhoods={
-                self._r: self._hood_r,
-                2 * self._r + 1: self._hood_2r1,
-                3 * self._r + 2: self._hood_lb,
-            },
-        )
-        agents = self._initialise_agents(weights)
-        self._weight_broadcast_phase(network, agents, weights, broadcasting_vertices)
-
-        records: List[MiniRoundRecord] = []
-        winners: Set[int] = set()
-        cumulative_weight = 0.0
-        computation = ComputationCosts()
-
-        for mini_round in range(1, hard_limit + 1):
-            candidates_left = [
-                agent for agent in agents if agent.status == VertexStatus.CANDIDATE
-            ]
-            if not candidates_left:
-                break
-            leaders = self._leader_selection_phase(network, agents, mini_round)
-            new_winners, new_losers = self._local_mwis_phase(
-                network, agents, leaders, mini_round, computation
-            )
-            self._delivery_phase(network, agents)
-            winners |= new_winners
-            cumulative_weight += sum(float(weights[v]) for v in new_winners)
-            remaining = sum(
-                1 for agent in agents if agent.status == VertexStatus.CANDIDATE
-            )
-            records.append(
-                MiniRoundRecord(
-                    index=mini_round,
-                    leaders=frozenset(leaders),
-                    new_winners=frozenset(new_winners),
-                    new_losers=frozenset(new_losers),
-                    cumulative_weight=cumulative_weight,
-                    remaining_candidates=remaining,
-                )
-            )
-            computation.mini_rounds = mini_round
-            if remaining == 0:
-                break
-
-        if not is_independent(self._adjacency, winners):
-            raise RuntimeError(
-                "distributed PTAS produced a dependent vertex set; this is a bug"
-            )
-        converged = all(agent.status.is_decided for agent in agents)
-        costs = RoundCosts(
-            communication=CommunicationCosts(
-                messages_per_vertex=network.messages_sent(),
-                total_deliveries=network.total_deliveries,
-                mini_timeslots_per_phase={
-                    phase: network.mini_timeslots(phase) for phase in ("WB", "LD", "LB")
-                },
-            ),
-            computation=computation,
-            stored_weights_per_vertex=[len(agent.known_weights) for agent in agents],
-        )
-        independent_set = IndependentSet.from_iterable(winners, weights)
-        return ProtocolResult(
-            independent_set=independent_set,
-            mini_rounds=records,
-            costs=costs,
-            converged=converged,
-        )
-
-    # ------------------------------------------------------------------
-    # Phases
-    # ------------------------------------------------------------------
-    def _initialise_agents(self, weights: Sequence[float]) -> List[VertexAgent]:
-        """Create the per-vertex agents with their knowledge horizons.
-
-        Algorithm 3 starts from the invariant that every vertex "has collected
-        newest weights of all (2r+1)-hop neighbours"; we therefore seed each
-        agent's weight knowledge from the supplied vector, and the WB phase
-        re-announces (and charges for) the refreshed entries.
-        """
-        agents: List[VertexAgent] = []
-        for vertex in range(self._num_vertices):
-            agent = VertexAgent(
-                vertex,
-                neighborhood_2r1=self._hood_2r1[vertex],
-                neighborhood_r=self._hood_r[vertex],
-            )
-            for neighbor in self._hood_2r1[vertex]:
-                agent.observe_weight(neighbor, float(weights[neighbor]))
-            agents.append(agent)
-        return agents
-
-    def _weight_broadcast_phase(
-        self,
-        network: MessageNetwork,
-        agents: List[VertexAgent],
-        weights: Sequence[float],
-        broadcasting_vertices: Optional[Iterable[int]],
-    ) -> None:
-        """WB phase: the previous round's strategy members announce weights."""
-        if broadcasting_vertices is None:
-            broadcasters = range(self._num_vertices)
-        else:
-            broadcasters = sorted(set(broadcasting_vertices))
-        for vertex in broadcasters:
-            if not (0 <= vertex < self._num_vertices):
-                raise ValueError(
-                    f"broadcasting vertex {vertex} out of range [0, {self._num_vertices})"
-                )
-            message = WeightBroadcast(
-                sender=vertex,
-                hop_limit=2 * self._r + 1,
-                weight=float(weights[vertex]),
-            )
-            network.broadcast(message, phase="WB")
-        for agent in agents:
-            for message in network.collect(agent.vertex):
-                if isinstance(message, WeightBroadcast):
-                    agent.observe_weight(message.sender, message.weight)
-
-    def _leader_selection_phase(
-        self,
-        network: MessageNetwork,
-        agents: List[VertexAgent],
-        mini_round: int,
-    ) -> List[int]:
-        """LS + LD: locally maximum Candidates become LocalLeaders."""
-        leaders: List[int] = []
-        for agent in agents:
-            if agent.status != VertexStatus.CANDIDATE:
-                continue
-            if agent.is_local_maximum(agent.known_weights):
-                agent.mark(VertexStatus.LOCAL_LEADER)
-                leaders.append(agent.vertex)
-                network.broadcast(
-                    LeaderDeclaration(
-                        sender=agent.vertex,
-                        hop_limit=2 * self._r + 1,
-                        weight=agent.own_weight(),
-                        mini_round=mini_round,
-                    ),
-                    phase="LD",
-                )
-        return leaders
-
-    def _local_mwis_phase(
-        self,
-        network: MessageNetwork,
-        agents: List[VertexAgent],
-        leaders: List[int],
-        mini_round: int,
-        computation: ComputationCosts,
-    ) -> "tuple[Set[int], Set[int]]":
-        """LMWIS + LB: every leader decides its r-hop candidates."""
-        new_winners: Set[int] = set()
-        new_losers: Set[int] = set()
-        for leader in leaders:
-            agent = agents[leader]
-            candidate_set = agent.candidate_set_r()
-            local_weights = {
-                vertex: agent.known_weights.get(vertex, 0.0) for vertex in candidate_set
-            }
-            solution = solve_local_mwis(
+        if self._transport is None:
+            transport: Transport = SimulatedTransport(
                 self._adjacency,
-                _DictWeights(local_weights, self._num_vertices),
-                candidate_set,
-                solver=self._local_solver,
+                precomputed_neighborhoods={
+                    self._r: self._hood_r,
+                    2 * self._r + 1: self._hood_2r1,
+                    3 * self._r + 2: self._hood_lb,
+                },
             )
-            winners = set(solution.vertices)
-            if not winners:
-                # All candidate weights were non-positive (e.g. the all-zero
-                # first round); the leader itself is a valid singleton IS.
-                winners = {leader}
-            # Losers: the unselected candidates of A_r(v) plus every
-            # still-Candidate neighbour of a new Winner.  Removing the
-            # Winners' neighbours is the distributed counterpart of the
-            # centralized PTAS deleting "the MWIS and all adjacent vertices",
-            # and keeps Winners of different mini-rounds mutually independent.
-            winner_neighbors: Set[int] = set()
-            for winner in winners:
-                winner_neighbors |= self._adjacency[winner]
-            removal = candidate_set | {
-                vertex
-                for vertex in winner_neighbors
-                if vertex in self._hood_r1[leader]
-                and not agent.known_statuses.get(
-                    vertex, VertexStatus.CANDIDATE
-                ).is_decided
-            }
-            losers = removal - winners
-            computation.local_mwis_calls += 1
-            computation.candidate_set_sizes.append(len(candidate_set))
-            decisions: Dict[int, bool] = {vertex: True for vertex in winners}
-            decisions.update({vertex: False for vertex in losers})
-            network.broadcast(
-                StatusDetermination(
-                    sender=leader,
-                    hop_limit=3 * self._r + 2,
-                    decisions=decisions,
-                    mini_round=mini_round,
-                ),
-                phase="LB",
-            )
-            # The leader applies its own decisions immediately (Algorithm 3
-            # line 9-11); other vertices learn them in the delivery phase.
-            for vertex, is_winner in decisions.items():
-                status = VertexStatus.WINNER if is_winner else VertexStatus.LOSER
-                agents[vertex].mark(status)
-                agent.observe_status(vertex, status)
-            new_winners |= winners
-            new_losers |= losers
-        return new_winners, new_losers
-
-    def _delivery_phase(self, network: MessageNetwork, agents: List[VertexAgent]) -> None:
-        """Deliver pending messages and update every vertex's local knowledge."""
-        for agent in agents:
-            for message in network.collect(agent.vertex):
-                if isinstance(message, StatusDetermination):
-                    for vertex, is_winner in message.decisions.items():
-                        status = (
-                            VertexStatus.WINNER if is_winner else VertexStatus.LOSER
-                        )
-                        agent.observe_status(vertex, status)
-                elif isinstance(message, WeightBroadcast):
-                    agent.observe_weight(message.sender, message.weight)
-
-
-class _DictWeights:
-    """Sparse weight vector backed by a dict (0.0 outside the dict).
-
-    ``solve_local_mwis`` indexes weights by global vertex id; building a full
-    dense list per leader would be wasteful, so this adapter provides the
-    minimal sequence protocol the solver needs.
-    """
-
-    def __init__(self, values: Dict[int, float], length: int) -> None:
-        self._values = values
-        self._length = length
-
-    def __getitem__(self, vertex: int) -> float:
-        return self._values.get(vertex, 0.0)
-
-    def __len__(self) -> int:
-        return self._length
+        else:
+            transport = self._transport
+            transport.reset()
+        return self._engine.run(
+            transport,
+            weights,
+            broadcasting_vertices=broadcasting_vertices,
+            hard_limit=hard_limit,
+        )

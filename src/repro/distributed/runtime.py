@@ -1,0 +1,857 @@
+"""Message-driven runtime of the distributed robust PTAS (Algorithm 3).
+
+This module splits the protocol into the two halves a real deployment has:
+
+* :class:`VertexProtocol` -- the per-vertex state machine.  It owns one
+  :class:`~repro.distributed.vertex.VertexAgent` (status + local knowledge)
+  and advances through the phases of a mini-round -- LocalLeader
+  selection/declaration (LS/LD), local MWIS (LMWIS), local broadcast of
+  determinations (LB) -- emitting and consuming only the typed messages of
+  :mod:`repro.distributed.messages` through a
+  :class:`~repro.distributed.transport.Transport`.  It never reads another
+  vertex's state.
+* :class:`ProtocolEngine` -- the synchronous driver: it clocks the phase
+  barriers (every vertex finishes a phase before anyone collects), keeps the
+  mini-round records and cost accounting, and assembles the
+  :class:`ProtocolResult`.
+
+:class:`AsyncioTransport` is the "real network" counterpart of the oracle
+:class:`~repro.distributed.network.MessageNetwork`: every vertex gets its
+own asyncio mailbox task, frames travel as newline-delimited JSON
+(:mod:`repro.distributed.serialize`) over in-memory asyncio streams, and the
+router supports configurable latency distributions, reordering and seeded
+drops.  Latency is *virtual* (it permutes delivery order, it does not sleep
+wall-clock time), so large protocol runs stay fast.  Under the lossless
+in-order default the results are bit-identical to the simulated transport —
+the equivalence contract the transport tests pin down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.distributed.costs import CommunicationCosts, ComputationCosts, RoundCosts
+from repro.distributed.messages import (
+    LeaderDeclaration,
+    Message,
+    StatusDetermination,
+    WeightBroadcast,
+)
+from repro.distributed.serialize import decode_message, encode_message
+from repro.distributed.transport import Transport
+from repro.distributed.vertex import VertexAgent, VertexStatus
+from repro.graph.neighborhoods import r_hop_neighborhood
+from repro.mwis.base import Adjacency, IndependentSet, MWISSolver, is_independent
+from repro.mwis.local import solve_local_mwis
+
+__all__ = [
+    "MiniRoundRecord",
+    "ProtocolResult",
+    "VertexProtocol",
+    "ProtocolEngine",
+    "AsyncioTransport",
+    "LATENCY_KINDS",
+]
+
+#: Latency distributions :class:`AsyncioTransport` can impose on deliveries.
+LATENCY_KINDS = ("none", "uniform", "exponential")
+
+
+@dataclass(frozen=True)
+class MiniRoundRecord:
+    """What happened during one mini-round of Algorithm 3."""
+
+    index: int
+    leaders: FrozenSet[int]
+    new_winners: FrozenSet[int]
+    new_losers: FrozenSet[int]
+    cumulative_weight: float
+    remaining_candidates: int
+
+
+@dataclass
+class ProtocolResult:
+    """Outcome of one full execution of the distributed robust PTAS."""
+
+    independent_set: IndependentSet
+    mini_rounds: List[MiniRoundRecord] = field(default_factory=list)
+    costs: RoundCosts = field(default_factory=RoundCosts)
+    #: ``True`` when every vertex was marked before the mini-round budget ran out.
+    converged: bool = True
+    #: ``False`` when a lossy transport broke the independence invariant (a
+    #: Loser notification that never arrived left a stale Candidate eligible).
+    #: Always ``True`` on lossless transports.
+    independent: bool = True
+
+    @property
+    def num_mini_rounds(self) -> int:
+        """Number of executed mini-rounds."""
+        return len(self.mini_rounds)
+
+    def weight_trajectory(self) -> List[float]:
+        """Cumulative Winner weight after each mini-round (the Fig. 6 series)."""
+        return [record.cumulative_weight for record in self.mini_rounds]
+
+
+class _DictWeights:
+    """Sparse weight vector backed by a dict (0.0 outside the dict).
+
+    ``solve_local_mwis`` indexes weights by global vertex id; building a full
+    dense list per leader would be wasteful, so this adapter provides the
+    minimal sequence protocol the solver needs.
+    """
+
+    def __init__(self, values: Dict[int, float], length: int) -> None:
+        self._values = values
+        self._length = length
+
+    def __getitem__(self, vertex: int) -> float:
+        return self._values.get(vertex, 0.0)
+
+    def __len__(self) -> int:
+        return self._length
+
+
+class VertexProtocol:
+    """The per-vertex state machine of Algorithm 3.
+
+    Each phase method either broadcasts a typed message through the transport
+    and returns it, or returns ``None`` when the vertex has nothing to say in
+    that phase; :meth:`receive` folds delivered messages into local
+    knowledge.  All graph structure the vertex uses (its r / r+1 / 2r+1-hop
+    neighbourhoods and the adjacency needed for the local MWIS) corresponds
+    to what a deployed node would discover once during neighbourhood setup.
+
+    Parameters
+    ----------
+    vertex:
+        The vertex id in the extended conflict graph ``H``.
+    transport:
+        The :class:`~repro.distributed.transport.Transport` all outgoing
+        messages are broadcast through.
+    r:
+        The PTAS radius.
+    adjacency:
+        Adjacency sets of ``H`` (read-only; used for the local MWIS and the
+        Winner-neighbour Loser rule).
+    hood_r, hood_r1, hood_2r1:
+        This vertex's r-, (r+1)- and (2r+1)-hop neighbourhoods.
+    local_solver:
+        Solver for the local MWIS instances; ``None`` means exact enumeration.
+    """
+
+    def __init__(
+        self,
+        vertex: int,
+        transport: Transport,
+        r: int,
+        adjacency: Adjacency,
+        hood_r: Set[int],
+        hood_r1: Set[int],
+        hood_2r1: Set[int],
+        local_solver: Optional[MWISSolver] = None,
+    ) -> None:
+        self.vertex = vertex
+        self.agent = VertexAgent(vertex, neighborhood_2r1=hood_2r1, neighborhood_r=hood_r)
+        self._transport = transport
+        self._r = r
+        self._adjacency = adjacency
+        self._hood_r1 = hood_r1
+        self._local_solver = local_solver
+        #: ``|A_r(v)|`` of the most recent :meth:`determine_statuses` call
+        #: (computation-cost accounting).
+        self.last_candidate_set_size = 0
+
+    # ------------------------------------------------------------------
+    # Knowledge seeding and WB phase
+    # ------------------------------------------------------------------
+    def prime(self, weights: Mapping[int, float]) -> None:
+        """Seed the (2r+1)-hop weight knowledge Algorithm 3 starts from.
+
+        The paper's invariant is that every vertex "has collected newest
+        weights of all (2r+1)-hop neighbours" before a strategy decision;
+        the WB phase then re-announces (and charges for) refreshed entries.
+        """
+        for neighbor, weight in weights.items():
+            self.agent.observe_weight(neighbor, float(weight))
+
+    def announce_weight(self) -> WeightBroadcast:
+        """WB phase: broadcast this vertex's current weight within 2r+1 hops."""
+        message = WeightBroadcast(
+            sender=self.vertex,
+            hop_limit=2 * self._r + 1,
+            weight=self.agent.own_weight(),
+        )
+        self._transport.broadcast(message, phase="WB")
+        return message
+
+    # ------------------------------------------------------------------
+    # Mini-round phases
+    # ------------------------------------------------------------------
+    def begin_mini_round(self, mini_round: int) -> Optional[LeaderDeclaration]:
+        """LS + LD: declare LocalLeader when locally maximum among Candidates."""
+        agent = self.agent
+        if agent.status != VertexStatus.CANDIDATE:
+            return None
+        if not agent.is_local_maximum(agent.known_weights):
+            return None
+        agent.mark(VertexStatus.LOCAL_LEADER)
+        message = LeaderDeclaration(
+            sender=self.vertex,
+            hop_limit=2 * self._r + 1,
+            weight=agent.own_weight(),
+            mini_round=mini_round,
+        )
+        self._transport.broadcast(message, phase="LD")
+        return message
+
+    def determine_statuses(self, mini_round: int) -> Optional[StatusDetermination]:
+        """LMWIS + LB: as a LocalLeader, decide the r-hop candidate set.
+
+        Solves MWIS over ``A_r(v)``; the members become Winners and the
+        remaining candidates of ``A_r(v)`` *plus every still-Candidate
+        neighbour of a new Winner* become Losers (the distributed counterpart
+        of the centralized PTAS deleting "the MWIS and all adjacent
+        vertices", which keeps Winners of different mini-rounds mutually
+        independent).  The decisions are broadcast within 3r+2 hops and
+        applied to this vertex's own state immediately (the leader does not
+        hear its own broadcast).
+        """
+        agent = self.agent
+        if agent.status != VertexStatus.LOCAL_LEADER:
+            return None
+        candidate_set = agent.candidate_set_r()
+        local_weights = {
+            vertex: agent.known_weights.get(vertex, 0.0) for vertex in candidate_set
+        }
+        solution = solve_local_mwis(
+            self._adjacency,
+            _DictWeights(local_weights, len(self._adjacency)),
+            candidate_set,
+            solver=self._local_solver,
+        )
+        winners = set(solution.vertices)
+        if not winners:
+            # All candidate weights were non-positive (e.g. the all-zero
+            # first round); the leader itself is a valid singleton IS.
+            winners = {self.vertex}
+        winner_neighbors: Set[int] = set()
+        for winner in winners:
+            winner_neighbors |= self._adjacency[winner]
+        removal = candidate_set | {
+            vertex
+            for vertex in winner_neighbors
+            if vertex in self._hood_r1
+            and not agent.known_statuses.get(
+                vertex, VertexStatus.CANDIDATE
+            ).is_decided
+        }
+        losers = removal - winners
+        self.last_candidate_set_size = len(candidate_set)
+        decisions: Dict[int, bool] = {vertex: True for vertex in winners}
+        decisions.update({vertex: False for vertex in losers})
+        message = StatusDetermination(
+            sender=self.vertex,
+            hop_limit=3 * self._r + 2,
+            decisions=decisions,
+            mini_round=mini_round,
+        )
+        self._transport.broadcast(message, phase="LB")
+        for vertex, is_winner in decisions.items():
+            status = VertexStatus.WINNER if is_winner else VertexStatus.LOSER
+            if vertex == self.vertex:
+                agent.mark(status)
+            agent.observe_status(vertex, status)
+        return message
+
+    # ------------------------------------------------------------------
+    # Message delivery
+    # ------------------------------------------------------------------
+    def receive(self, message: Message) -> None:
+        """Fold one delivered message into local knowledge.
+
+        Status determinations naming this vertex also mark it (unless it is
+        already decided — possible only when a lossy transport let a leader
+        act on stale knowledge; terminal statuses are never overwritten).
+        Leader declarations need no handler: elections are decided from the
+        weight knowledge, the declaration itself is informational.
+        """
+        agent = self.agent
+        if isinstance(message, StatusDetermination):
+            for vertex, is_winner in message.decisions.items():
+                status = VertexStatus.WINNER if is_winner else VertexStatus.LOSER
+                if vertex == agent.vertex and not agent.status.is_decided:
+                    agent.mark(status)
+                else:
+                    agent.observe_status(vertex, status)
+        elif isinstance(message, WeightBroadcast):
+            agent.observe_weight(message.sender, message.weight)
+
+    @property
+    def status(self) -> VertexStatus:
+        """Current protocol status of this vertex."""
+        return self.agent.status
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return f"VertexProtocol(vertex={self.vertex}, status={self.status.value})"
+
+
+class ProtocolEngine:
+    """Synchronous driver clocking :class:`VertexProtocol` machines.
+
+    The engine owns nothing protocol-specific beyond the phase barriers: it
+    asks every vertex to act, lets the transport deliver, and records what
+    the broadcast decisions said.  All state transitions happen inside the
+    vertex machines.
+
+    Parameters mirror :class:`~repro.distributed.ptas.DistributedRobustPTAS`
+    (which delegates here); the four neighbourhood tables must already be
+    computed for radii ``r``, ``r+1``, ``2r+1`` and ``3r+2``.
+    """
+
+    def __init__(
+        self,
+        adjacency: Adjacency,
+        r: int,
+        hood_r: List[Set[int]],
+        hood_r1: List[Set[int]],
+        hood_2r1: List[Set[int]],
+        local_solver: Optional[MWISSolver] = None,
+    ) -> None:
+        self._adjacency = adjacency
+        self._num_vertices = len(adjacency)
+        self._r = r
+        self._hood_r = hood_r
+        self._hood_r1 = hood_r1
+        self._hood_2r1 = hood_2r1
+        self._local_solver = local_solver
+
+    def run(
+        self,
+        transport: Transport,
+        weights: Sequence[float],
+        broadcasting_vertices: Optional[Iterable[int]] = None,
+        hard_limit: Optional[int] = None,
+    ) -> ProtocolResult:
+        """Execute one full strategy decision over ``transport``."""
+        if transport.num_vertices != self._num_vertices:
+            raise ValueError(
+                f"transport connects {transport.num_vertices} vertices but the "
+                f"graph has {self._num_vertices}"
+            )
+        if hard_limit is None:
+            hard_limit = self._num_vertices
+        vertices = [
+            VertexProtocol(
+                vertex,
+                transport,
+                self._r,
+                self._adjacency,
+                hood_r=self._hood_r[vertex],
+                hood_r1=self._hood_r1[vertex],
+                hood_2r1=self._hood_2r1[vertex],
+                local_solver=self._local_solver,
+            )
+            for vertex in range(self._num_vertices)
+        ]
+        for vertex in vertices:
+            vertex.prime(
+                {
+                    neighbor: float(weights[neighbor])
+                    for neighbor in self._hood_2r1[vertex.vertex]
+                }
+            )
+
+        # WB phase: the previous round's strategy members announce weights.
+        if broadcasting_vertices is None:
+            broadcasters: Iterable[int] = range(self._num_vertices)
+        else:
+            broadcasters = sorted(set(broadcasting_vertices))
+        for sender in broadcasters:
+            if not (0 <= sender < self._num_vertices):
+                raise ValueError(
+                    f"broadcasting vertex {sender} out of range "
+                    f"[0, {self._num_vertices})"
+                )
+            vertices[sender].announce_weight()
+        self._deliver(transport, vertices)
+
+        records: List[MiniRoundRecord] = []
+        winners: Set[int] = set()
+        cumulative_weight = 0.0
+        computation = ComputationCosts()
+
+        for mini_round in range(1, hard_limit + 1):
+            if not any(
+                vertex.status == VertexStatus.CANDIDATE for vertex in vertices
+            ):
+                break
+            leaders = [
+                vertex.vertex
+                for vertex in vertices
+                if vertex.begin_mini_round(mini_round) is not None
+            ]
+            new_winners: Set[int] = set()
+            new_losers: Set[int] = set()
+            for leader in leaders:
+                determination = vertices[leader].determine_statuses(mini_round)
+                computation.local_mwis_calls += 1
+                computation.candidate_set_sizes.append(
+                    vertices[leader].last_candidate_set_size
+                )
+                for vertex, is_winner in determination.decisions.items():
+                    (new_winners if is_winner else new_losers).add(vertex)
+            self._deliver(transport, vertices)
+            winners |= new_winners
+            cumulative_weight += sum(float(weights[v]) for v in new_winners)
+            remaining = sum(
+                1 for vertex in vertices if vertex.status == VertexStatus.CANDIDATE
+            )
+            records.append(
+                MiniRoundRecord(
+                    index=mini_round,
+                    leaders=frozenset(leaders),
+                    new_winners=frozenset(new_winners),
+                    new_losers=frozenset(new_losers),
+                    cumulative_weight=cumulative_weight,
+                    remaining_candidates=remaining,
+                )
+            )
+            computation.mini_rounds = mini_round
+            if remaining == 0:
+                break
+
+        independent = is_independent(self._adjacency, winners)
+        if not independent and transport.is_lossless:
+            raise RuntimeError(
+                "distributed PTAS produced a dependent vertex set on a "
+                "lossless transport; this is a bug"
+            )
+        converged = all(vertex.status.is_decided for vertex in vertices)
+        costs = RoundCosts(
+            communication=CommunicationCosts(
+                messages_per_vertex=transport.messages_sent(),
+                total_deliveries=transport.total_deliveries,
+                mini_timeslots_per_phase={
+                    phase: transport.mini_timeslots(phase)
+                    for phase in ("WB", "LD", "LB")
+                },
+            ),
+            computation=computation,
+            stored_weights_per_vertex=[
+                len(vertex.agent.known_weights) for vertex in vertices
+            ],
+        )
+        independent_set = IndependentSet.from_iterable(winners, weights)
+        return ProtocolResult(
+            independent_set=independent_set,
+            mini_rounds=records,
+            costs=costs,
+            converged=converged,
+            independent=independent,
+        )
+
+    @staticmethod
+    def _deliver(transport: Transport, vertices: List[VertexProtocol]) -> None:
+        """Phase barrier: drain every inbox into its vertex machine."""
+        for vertex in vertices:
+            for message in transport.collect(vertex.vertex):
+                vertex.receive(message)
+
+
+# ----------------------------------------------------------------------
+# AsyncioTransport
+# ----------------------------------------------------------------------
+#: Per-stream buffer limit.  Generous because the router may stage a few
+#: hundred frames between cooperative yields; flow control is handled by the
+#: explicit yield cadence, not by stream back-pressure.
+_STREAM_LIMIT = 1 << 20
+
+#: Frames written to down-links between cooperative yields during a flush.
+#: Mailbox tasks drain their whole buffer at every yield, so this bounds
+#: peak buffered bytes without paying one scheduler round-trip per frame.
+_FLUSH_YIELD_EVERY = 256
+
+
+class _PipeTransport(asyncio.Transport):
+    """In-memory unidirectional byte pipe feeding an asyncio StreamReader."""
+
+    def __init__(self, reader: asyncio.StreamReader) -> None:
+        super().__init__()
+        self._reader = reader
+        self._closing = False
+
+    def write(self, data: bytes) -> None:
+        if not self._closing:
+            self._reader.feed_data(data)
+
+    def close(self) -> None:
+        if not self._closing:
+            self._closing = True
+            self._reader.feed_eof()
+
+    def is_closing(self) -> bool:
+        return self._closing
+
+    def pause_reading(self) -> None:  # flow control is a no-op in memory
+        pass
+
+    def resume_reading(self) -> None:
+        pass
+
+
+def _open_pipe(loop: asyncio.AbstractEventLoop):
+    """One (reader, writer) pair over an in-memory byte pipe."""
+    reader = asyncio.StreamReader(limit=_STREAM_LIMIT, loop=loop)
+    protocol = asyncio.StreamReaderProtocol(reader, loop=loop)
+    transport = _PipeTransport(reader)
+    protocol.connection_made(transport)
+    writer = asyncio.StreamWriter(transport, protocol, reader, loop)
+    return reader, writer
+
+
+class AsyncioTransport(Transport):
+    """Real asyncio message passing between per-vertex tasks.
+
+    Every vertex owns two in-memory byte streams — an up-link its broadcasts
+    are written to and a down-link its mailbox task reads deliveries from —
+    plus two long-lived tasks (router pump and mailbox) on a private event
+    loop.  Every frame crosses the JSON wire codec, so a protocol run over
+    this transport exercises exactly the serialization path a cross-machine
+    deployment would.
+
+    Sockets are deliberately not used: an in-memory pipe per direction keeps
+    a 2000-vertex graph at 4000 stream objects instead of 4000 file
+    descriptors, and keeps per-delivery cost in the microsecond range.
+
+    Parameters
+    ----------
+    adjacency:
+        Adjacency sets of the extended conflict graph ``H``.
+    precomputed_neighborhoods:
+        Optional hop-radius -> per-vertex neighbourhood cache (shared with
+        the protocol so k-hop routing is computed once per topology).
+    latency:
+        Delivery latency distribution: ``"none"`` (in-order), ``"uniform"``
+        over ``[0, latency_scale)`` or ``"exponential"`` with mean
+        ``latency_scale``.  Latency is virtual — it reorders deliveries
+        relative to their send times, it never sleeps.
+    latency_scale:
+        Scale of the latency distribution, in broadcast ticks.
+    reorder:
+        Randomly permute same-time deliveries (an adversarial scheduler even
+        without latency).
+    drop_probability:
+        Per-(message, recipient) Bernoulli drop probability.
+    seed:
+        Seed of the fault stream (drops, latency, reordering).  Same seed,
+        topology and message sequence => same delivered-message trace.
+    """
+
+    def __init__(
+        self,
+        adjacency: Sequence[Set[int]],
+        precomputed_neighborhoods: Optional[Dict[int, List[Set[int]]]] = None,
+        *,
+        latency: str = "none",
+        latency_scale: float = 1.0,
+        reorder: bool = False,
+        drop_probability: float = 0.0,
+        seed=0,
+    ) -> None:
+        if latency not in LATENCY_KINDS:
+            raise ValueError(
+                f"latency must be one of {LATENCY_KINDS}, got {latency!r}"
+            )
+        if not (0.0 <= drop_probability < 1.0):
+            raise ValueError(
+                f"drop_probability must be in [0, 1), got {drop_probability}"
+            )
+        if latency_scale <= 0:
+            raise ValueError(f"latency_scale must be positive, got {latency_scale}")
+        self._adjacency = adjacency
+        self._num_vertices = len(adjacency)
+        self._neighborhood_cache: Dict[int, List[Set[int]]] = (
+            dict(precomputed_neighborhoods) if precomputed_neighborhoods else {}
+        )
+        self._latency = latency
+        self._latency_scale = float(latency_scale)
+        self._reorder = bool(reorder)
+        self._drop_probability = float(drop_probability)
+        self._rng = np.random.default_rng(seed)
+
+        self._inboxes: List[List[Message]] = [[] for _ in range(self._num_vertices)]
+        self._messages_sent: List[int] = [0] * self._num_vertices
+        self._deliveries = 0
+        self._dropped = 0
+        self._mini_timeslots: Dict[str, int] = {}
+        #: Deliveries staged by the router, flushed at the next phase barrier:
+        #: (virtual delivery time, reorder jitter, sequence, recipient, frame).
+        self._staged: List[Tuple[float, float, int, int, bytes]] = []
+        self._clock = 0
+        self._sequence = 0
+        self._unrouted = 0
+        self._in_flight = 0
+        self._last_recipients = 0
+        self._decode_cache: Dict[bytes, Message] = {}
+        #: ``(message type, sender, recipient)`` per delivery, in delivery
+        #: order.  The determinism contract: same seed => same trace.
+        self.delivery_trace: List[Tuple[str, int, int]] = []
+
+        self._closed = False
+        self._loop = asyncio.new_event_loop()
+        self._up_writers: List[asyncio.StreamWriter] = []
+        self._down_writers: List[asyncio.StreamWriter] = []
+        self._tasks: List[asyncio.Task] = []
+        for vertex in range(self._num_vertices):
+            up_reader, up_writer = _open_pipe(self._loop)
+            down_reader, down_writer = _open_pipe(self._loop)
+            self._up_writers.append(up_writer)
+            self._down_writers.append(down_writer)
+            self._tasks.append(
+                self._loop.create_task(self._pump_uplink(vertex, up_reader))
+            )
+            self._tasks.append(
+                self._loop.create_task(self._run_mailbox(vertex, down_reader))
+            )
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices the transport connects."""
+        return self._num_vertices
+
+    @property
+    def adjacency(self) -> Sequence[Set[int]]:
+        """Adjacency sets of the graph the transport routes over."""
+        return self._adjacency
+
+    def _neighborhood(self, vertex: int, hops: int) -> Set[int]:
+        cache = self._neighborhood_cache.get(hops)
+        if cache is None:
+            cache = [
+                r_hop_neighborhood(self._adjacency, v, hops)
+                for v in range(self._num_vertices)
+            ]
+            self._neighborhood_cache[hops] = cache
+        return cache[vertex]
+
+    # ------------------------------------------------------------------
+    # Event-loop plumbing
+    # ------------------------------------------------------------------
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("transport is closed")
+
+    def _drive(self, coro) -> None:
+        """Run the private loop until ``coro`` finishes (sync -> async edge)."""
+        self._loop.run_until_complete(coro)
+
+    async def _pump_uplink(self, sender: int, reader: asyncio.StreamReader) -> None:
+        """Route every frame ``sender`` writes to its up-link."""
+        while True:
+            line = await reader.readline()
+            if not line:
+                return
+            self._route(sender, line)
+            self._unrouted -= 1
+
+    async def _run_mailbox(self, vertex: int, reader: asyncio.StreamReader) -> None:
+        """Decode every frame arriving on the down-link into the inbox."""
+        while True:
+            line = await reader.readline()
+            if not line:
+                return
+            message = self._decode(line)
+            self._inboxes[vertex].append(message)
+            self.delivery_trace.append((type(message).__name__, message.sender, vertex))
+            self._in_flight -= 1
+
+    def _decode(self, line: bytes) -> Message:
+        """Frame decode with a byte-interned cache.
+
+        Identical frames resolve to one shared message object, matching the
+        oracle network's shared-object delivery and keeping per-delivery cost
+        flat even for large StatusDetermination maps.
+        """
+        message = self._decode_cache.get(line)
+        if message is None:
+            message = decode_message(line)
+            self._decode_cache[line] = message
+        return message
+
+    def _route(self, sender: int, line: bytes) -> None:
+        """Stage one broadcast frame for delivery, applying the fault model.
+
+        Recipients are visited in sorted order so the fault stream (drop and
+        latency draws) is a deterministic function of the seed and the
+        message sequence.
+        """
+        message = self._decode(line)
+        recipients = sorted(self._neighborhood(sender, message.hop_limit) - {sender})
+        self._clock += 1
+        for recipient in recipients:
+            if (
+                self._drop_probability > 0.0
+                and self._rng.random() < self._drop_probability
+            ):
+                self._dropped += 1
+                continue
+            if self._latency == "uniform":
+                delay = float(self._rng.uniform(0.0, self._latency_scale))
+            elif self._latency == "exponential":
+                delay = float(self._rng.exponential(self._latency_scale))
+            else:
+                delay = 0.0
+            jitter = float(self._rng.random()) if self._reorder else 0.0
+            self._sequence += 1
+            self._staged.append(
+                (self._clock + delay, jitter, self._sequence, recipient, line)
+            )
+            self._deliveries += 1
+        self._last_recipients = len(recipients)
+
+    async def _until_routed(self) -> None:
+        while self._unrouted:
+            await asyncio.sleep(0)
+
+    async def _flush(self) -> None:
+        """Deliver all staged frames in virtual-time order (phase barrier)."""
+        while self._unrouted:
+            await asyncio.sleep(0)
+        staged = sorted(self._staged)
+        self._staged.clear()
+        for index, (_, _, _, recipient, line) in enumerate(staged):
+            self._in_flight += 1
+            self._down_writers[recipient].write(line)
+            if index % _FLUSH_YIELD_EVERY == _FLUSH_YIELD_EVERY - 1:
+                await asyncio.sleep(0)
+        while self._in_flight:
+            await asyncio.sleep(0)
+
+    # ------------------------------------------------------------------
+    # Transport interface
+    # ------------------------------------------------------------------
+    def broadcast(self, message: Message, phase: str) -> int:
+        """Encode ``message`` onto the sender's up-link and route it.
+
+        Counter semantics mirror :class:`MessageNetwork`: one originated
+        message, ``max(1, hop_limit)`` mini-timeslots, one delivery per
+        recipient — except that dropped (message, recipient) pairs are *not*
+        counted as deliveries (they never happened on this transport).
+        """
+        self._ensure_open()
+        sender = message.sender
+        if not (0 <= sender < self._num_vertices):
+            raise ValueError(
+                f"sender {sender} out of range [0, {self._num_vertices})"
+            )
+        if message.hop_limit < 0:
+            raise ValueError(f"hop_limit must be non-negative, got {message.hop_limit}")
+        if message.hop_limit == 0:
+            return 0
+        self._messages_sent[sender] += 1
+        self._mini_timeslots[phase] = (
+            self._mini_timeslots.get(phase, 0) + max(1, message.hop_limit)
+        )
+        self._unrouted += 1
+        self._up_writers[sender].write(encode_message(message))
+        self._drive(self._until_routed())
+        return self._last_recipients
+
+    def collect(self, vertex: int) -> List[Message]:
+        """Flush staged deliveries, then drain and return the inbox."""
+        self._ensure_open()
+        if not (0 <= vertex < self._num_vertices):
+            raise ValueError(f"vertex {vertex} out of range [0, {self._num_vertices})")
+        if self._staged or self._unrouted or self._in_flight:
+            self._drive(self._flush())
+        inbox = self._inboxes[vertex]
+        self._inboxes[vertex] = []
+        return inbox
+
+    def pending(self, vertex: int) -> int:
+        """Number of undelivered messages waiting for ``vertex``."""
+        return len(self._inboxes[vertex]) + sum(
+            1 for entry in self._staged if entry[3] == vertex
+        )
+
+    def messages_sent(self, vertex: Optional[int] = None):
+        """Messages originated by ``vertex`` (or the per-vertex list)."""
+        if vertex is None:
+            return list(self._messages_sent)
+        return self._messages_sent[vertex]
+
+    @property
+    def total_messages_sent(self) -> int:
+        """Total number of broadcasts originated by any vertex."""
+        return sum(self._messages_sent)
+
+    @property
+    def total_deliveries(self) -> int:
+        """Total number of (message, recipient) deliveries (drops excluded)."""
+        return self._deliveries
+
+    @property
+    def total_dropped(self) -> int:
+        """Number of (message, recipient) pairs lost to the drop model."""
+        return self._dropped
+
+    def mini_timeslots(self, phase: Optional[str] = None) -> int:
+        """Mini-timeslots consumed, optionally restricted to one phase."""
+        if phase is not None:
+            return self._mini_timeslots.get(phase, 0)
+        return sum(self._mini_timeslots.values())
+
+    def reset_costs(self) -> None:
+        """Zero all counters (inboxes and staged deliveries are kept)."""
+        self._messages_sent = [0] * self._num_vertices
+        self._deliveries = 0
+        self._dropped = 0
+        self._mini_timeslots = {}
+
+    def reset(self) -> None:
+        """Discard undelivered messages, the trace and all counters.
+
+        The fault-stream rng is *not* rewound: successive runs on one
+        transport instance consume one continuous stream, which keeps a
+        multi-run session deterministic end to end.
+        """
+        self._ensure_open()
+        self._staged.clear()
+        self._inboxes = [[] for _ in range(self._num_vertices)]
+        self.delivery_trace = []
+        self.reset_costs()
+
+    @property
+    def is_lossless(self) -> bool:
+        """``True`` iff the drop model can never lose a delivery."""
+        return self._drop_probability == 0.0
+
+    def close(self) -> None:
+        """Tear down the per-vertex tasks and the private event loop."""
+        if self._closed:
+            return
+        self._closed = True
+        for writer in self._up_writers + self._down_writers:
+            writer.close()
+
+        async def _shutdown() -> None:
+            for task in self._tasks:
+                task.cancel()
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+
+        self._loop.run_until_complete(_shutdown())
+        self._loop.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter-dependent
+        try:
+            self.close()
+        except Exception:
+            pass

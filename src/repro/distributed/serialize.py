@@ -1,0 +1,186 @@
+"""JSON wire codec for the distributed protocol's control messages.
+
+Every message that crosses a real transport boundary is encoded as one
+newline-delimited, canonical-JSON *frame*::
+
+    {"schema": "repro.protocol-msg/v1", "type": "weight-broadcast",
+     "sender": 3, "hop_limit": 5, "weight": 212.0}
+
+Frames are versioned through the ``schema`` field so a future wire change
+can coexist with old peers; decoding validates the schema, the type tag and
+every field (unknown fields are rejected, like the spec layer does) and
+raises :class:`WireError` with a message naming the offending part.
+
+JSON objects only allow string keys, so the ``decisions`` map of a
+:class:`~repro.distributed.messages.StatusDetermination` travels with its
+vertex ids stringified; :func:`frame_to_message` restores the integer keys.
+The codec round-trips every message type bit for bit (``decode(encode(m))
+== m``), which the serialization tests assert per type.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Mapping, Type, Union
+
+from repro.distributed.messages import (
+    LeaderDeclaration,
+    Message,
+    StatusDetermination,
+    WeightBroadcast,
+)
+
+__all__ = [
+    "WIRE_SCHEMA",
+    "WireError",
+    "message_to_frame",
+    "frame_to_message",
+    "encode_message",
+    "decode_message",
+]
+
+#: Version tag embedded in (and required of) every frame on the wire.
+WIRE_SCHEMA = "repro.protocol-msg/v1"
+
+#: type tag <-> message class.  Tags are part of the wire format: renaming
+#: one is a schema change and must bump :data:`WIRE_SCHEMA`.
+_TAG_OF: Dict[Type[Message], str] = {
+    WeightBroadcast: "weight-broadcast",
+    LeaderDeclaration: "leader-declaration",
+    StatusDetermination: "status-determination",
+}
+_CLASS_OF: Dict[str, Type[Message]] = {tag: cls for cls, tag in _TAG_OF.items()}
+
+
+class WireError(ValueError):
+    """A frame cannot be encoded to or decoded from the wire format."""
+
+
+def message_to_frame(message: Message) -> Dict[str, object]:
+    """The JSON-ready frame of ``message`` (inverse of :func:`frame_to_message`)."""
+    tag = _TAG_OF.get(type(message))
+    if tag is None:
+        raise WireError(
+            f"cannot serialize {type(message).__name__}; wire types are "
+            f"{sorted(_CLASS_OF)}"
+        )
+    frame: Dict[str, object] = {
+        "schema": WIRE_SCHEMA,
+        "type": tag,
+        "sender": message.sender,
+        "hop_limit": message.hop_limit,
+    }
+    if isinstance(message, WeightBroadcast):
+        frame["weight"] = float(message.weight)
+    elif isinstance(message, LeaderDeclaration):
+        frame["weight"] = float(message.weight)
+        frame["mini_round"] = message.mini_round
+    elif isinstance(message, StatusDetermination):
+        # JSON keys must be strings; ids are restored on decode.
+        frame["decisions"] = {
+            str(vertex): bool(flag) for vertex, flag in message.decisions.items()
+        }
+        frame["mini_round"] = message.mini_round
+    return frame
+
+
+def _require_int(frame: Mapping, key: str) -> int:
+    value = frame.get(key)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise WireError(f"frame.{key}: expected an integer, got {value!r}")
+    return value
+
+
+def _require_float(frame: Mapping, key: str) -> float:
+    value = frame.get(key)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise WireError(f"frame.{key}: expected a number, got {value!r}")
+    return float(value)
+
+
+_COMMON_KEYS = frozenset({"schema", "type", "sender", "hop_limit"})
+_PAYLOAD_KEYS = {
+    "weight-broadcast": frozenset({"weight"}),
+    "leader-declaration": frozenset({"weight", "mini_round"}),
+    "status-determination": frozenset({"decisions", "mini_round"}),
+}
+
+
+def frame_to_message(frame: Mapping) -> Message:
+    """Rebuild the typed message a frame describes, validating as it goes."""
+    if not isinstance(frame, Mapping):
+        raise WireError(f"frame: expected a JSON object, got {type(frame).__name__}")
+    schema = frame.get("schema")
+    if schema != WIRE_SCHEMA:
+        raise WireError(
+            f"frame.schema: expected {WIRE_SCHEMA!r}, got {schema!r} "
+            "(incompatible wire version)"
+        )
+    tag = frame.get("type")
+    cls = _CLASS_OF.get(tag)
+    if cls is None:
+        raise WireError(
+            f"frame.type: unknown message type {tag!r}; known types are "
+            f"{sorted(_CLASS_OF)}"
+        )
+    unknown = sorted(set(frame) - _COMMON_KEYS - _PAYLOAD_KEYS[tag])
+    if unknown:
+        raise WireError(f"frame: unknown field(s) {unknown} for type {tag!r}")
+    sender = _require_int(frame, "sender")
+    hop_limit = _require_int(frame, "hop_limit")
+    if cls is WeightBroadcast:
+        return WeightBroadcast(
+            sender=sender, hop_limit=hop_limit, weight=_require_float(frame, "weight")
+        )
+    if cls is LeaderDeclaration:
+        return LeaderDeclaration(
+            sender=sender,
+            hop_limit=hop_limit,
+            weight=_require_float(frame, "weight"),
+            mini_round=_require_int(frame, "mini_round"),
+        )
+    raw = frame.get("decisions")
+    if not isinstance(raw, Mapping):
+        raise WireError(f"frame.decisions: expected an object, got {raw!r}")
+    decisions: Dict[int, bool] = {}
+    for key, flag in raw.items():
+        try:
+            vertex = int(key)
+        except (TypeError, ValueError):
+            raise WireError(
+                f"frame.decisions: key {key!r} is not a vertex id"
+            ) from None
+        if not isinstance(flag, bool):
+            raise WireError(
+                f"frame.decisions[{key}]: expected true/false, got {flag!r}"
+            )
+        decisions[vertex] = flag
+    return StatusDetermination(
+        sender=sender,
+        hop_limit=hop_limit,
+        decisions=decisions,
+        mini_round=_require_int(frame, "mini_round"),
+    )
+
+
+def encode_message(message: Message) -> bytes:
+    """One newline-terminated canonical-JSON frame, ready for a byte stream."""
+    frame = message_to_frame(message)
+    try:
+        text = json.dumps(
+            frame, sort_keys=True, separators=(",", ":"), allow_nan=False
+        )
+    except ValueError as err:
+        raise WireError(f"frame is not JSON-encodable: {err}") from None
+    return text.encode("utf-8") + b"\n"
+
+
+def decode_message(data: Union[bytes, str]) -> Message:
+    """Decode one frame produced by :func:`encode_message`."""
+    if isinstance(data, bytes):
+        data = data.decode("utf-8")
+    try:
+        frame = json.loads(data)
+    except json.JSONDecodeError as err:
+        raise WireError(f"frame is not valid JSON: {err}") from None
+    return frame_to_message(frame)

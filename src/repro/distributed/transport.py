@@ -1,0 +1,145 @@
+"""The ``Transport`` interface of the distributed protocol runtime.
+
+:class:`~repro.distributed.runtime.VertexProtocol` state machines never touch
+each other directly: every interaction goes through a :class:`Transport`,
+which owns k-hop broadcast delivery and the communication cost counters the
+paper's complexity analysis talks about (messages originated per vertex,
+total deliveries, mini-timeslots per phase).  Two implementations ship:
+
+* :class:`SimulatedTransport` -- the in-process oracle network
+  (:class:`~repro.distributed.network.MessageNetwork`) exposed through the
+  interface; delivers instantly, in order, losslessly.
+* :class:`~repro.distributed.runtime.AsyncioTransport` -- real asyncio
+  streams between per-vertex tasks, with every message crossing a JSON wire
+  boundary (:mod:`repro.distributed.serialize`) and configurable latency,
+  reordering and seeded drops.
+
+The equivalence contract: under a lossless, in-order configuration any
+transport must yield a bit-identical :class:`~repro.distributed.runtime.
+ProtocolResult` to the simulated one (see ``docs/transport.md``).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional, Sequence, Set
+
+from repro.distributed.messages import Message
+from repro.distributed.network import MessageNetwork
+
+__all__ = ["Transport", "SimulatedTransport"]
+
+
+class Transport(abc.ABC):
+    """Message substrate between the per-vertex protocol state machines.
+
+    A transport connects a fixed vertex population (the extended conflict
+    graph ``H``) and delivers k-hop broadcasts between them.  Delivery is
+    *phase-buffered*: messages sent during a phase become visible to
+    :meth:`collect` only after the sender side of the phase is over, which is
+    exactly the synchronous mini-timeslot structure of Algorithm 3.
+
+    Implementations must mirror :class:`MessageNetwork`'s cost accounting so
+    protocol results stay comparable across transports: one originated
+    message per broadcast, one delivery per (message, recipient) pair and
+    ``max(1, hop_limit)`` mini-timeslots per broadcast, with zero-hop
+    broadcasts charging nothing.
+    """
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    @property
+    @abc.abstractmethod
+    def num_vertices(self) -> int:
+        """Number of vertices the transport connects."""
+
+    @property
+    @abc.abstractmethod
+    def adjacency(self) -> Sequence[Set[int]]:
+        """Adjacency sets of the graph the transport routes over."""
+
+    # ------------------------------------------------------------------
+    # Broadcast and delivery
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def broadcast(self, message: Message, phase: str) -> int:
+        """Send ``message`` to every vertex within its hop limit.
+
+        Returns the number of recipients (excluding the sender).  ``phase``
+        labels the protocol phase (``"WB"``, ``"LD"`` or ``"LB"``) for the
+        mini-timeslot accounting.
+        """
+
+    @abc.abstractmethod
+    def collect(self, vertex: int) -> List[Message]:
+        """Drain and return the inbox of ``vertex``."""
+
+    @abc.abstractmethod
+    def pending(self, vertex: int) -> int:
+        """Number of undelivered messages waiting for ``vertex``."""
+
+    # ------------------------------------------------------------------
+    # Cost accounting
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def messages_sent(self, vertex: Optional[int] = None):
+        """Messages originated by ``vertex`` (or the per-vertex list)."""
+
+    @property
+    @abc.abstractmethod
+    def total_messages_sent(self) -> int:
+        """Total number of broadcasts originated by any vertex."""
+
+    @property
+    @abc.abstractmethod
+    def total_deliveries(self) -> int:
+        """Total number of (message, recipient) deliveries."""
+
+    @abc.abstractmethod
+    def mini_timeslots(self, phase: Optional[str] = None) -> int:
+        """Mini-timeslots consumed, optionally restricted to one phase."""
+
+    @abc.abstractmethod
+    def reset_costs(self) -> None:
+        """Zero all counters (inboxes are left untouched)."""
+
+    @abc.abstractmethod
+    def reset(self) -> None:
+        """Discard all undelivered messages and zero all counters.
+
+        Called between protocol runs that reuse one transport instance, so
+        per-run cost reports never mix rounds.
+        """
+
+    # ------------------------------------------------------------------
+    # Delivery guarantees and lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def is_lossless(self) -> bool:
+        """Whether every broadcast reaches every in-range recipient.
+
+        Lossy transports can break the protocol's independence invariant
+        (a Loser notification that never arrives leaves a stale Candidate);
+        the runtime records the violation on the result instead of raising
+        when this is ``False``.
+        """
+        return True
+
+    def close(self) -> None:
+        """Release any resources held by the transport (idempotent)."""
+
+
+class SimulatedTransport(MessageNetwork, Transport):
+    """The in-process oracle network, exposed through :class:`Transport`.
+
+    Inherits the whole :class:`MessageNetwork` implementation -- instant
+    lossless in-order delivery with exact cost counters -- and is therefore
+    the reference behaviour every other transport is tested against.
+    """
+
+
+# ``MessageNetwork`` predates the interface but satisfies it method for
+# method, so existing instances (e.g. ones built by legacy callers) pass
+# ``isinstance(..., Transport)`` checks without being re-wrapped.
+Transport.register(MessageNetwork)

@@ -45,6 +45,7 @@ from repro.spec.scenario import (
     ScheduleSpec,
     SpecError,
     TopologySpec,
+    TransportSpec,
 )
 
 __all__ = [
@@ -54,6 +55,7 @@ __all__ = [
     "PolicySpec",
     "ScheduleSpec",
     "DynamicsSpec",
+    "TransportSpec",
     "ReplicationSpec",
     "ScenarioSpec",
     "ScenarioRegistry",

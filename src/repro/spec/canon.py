@@ -24,7 +24,7 @@ import json
 from dataclasses import replace
 from typing import Dict, Optional
 
-from repro.spec.scenario import ScenarioSpec
+from repro.spec.scenario import ScenarioSpec, TransportSpec
 
 __all__ = [
     "UNIT_SCHEMA",
@@ -90,6 +90,7 @@ def canonical_spec(
 #: :data:`ENGINE_VERSION`.
 _EXTENSION_DEFAULTS = (
     ((None, "dynamics"), None),
+    ((None, "transport"), TransportSpec().to_dict()),
     (("channels", "ge_bad_fraction"), 0.25),
     (("channels", "ge_p_good_to_bad"), 0.1),
     (("channels", "ge_p_bad_to_good"), 0.3),

@@ -267,6 +267,13 @@ def _builtin_scenarios() -> List[ScenarioSpec]:
             max_mini_rounds=8,
             scale="quick",
         ),
+        _fig6_spec(
+            "fig6-smoke",
+            sizes=((10, 2), (12, 3)),
+            r=1,
+            max_mini_rounds=6,
+            scale="smoke",
+        ),
         _fig7_spec(
             "fig7-paper", num_nodes=15, num_channels=3, num_rounds=1000, r=2,
             scale="paper",

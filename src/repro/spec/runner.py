@@ -22,6 +22,7 @@ from repro.core.bounds import theorem1_regret_bound
 from repro.distributed.costs import theoretical_message_bound, theoretical_space_bound
 from repro.distributed.ptas import DistributedRobustPTAS
 from repro.graph.extended import ExtendedConflictGraph
+from repro.graph.neighborhoods import r_hop_neighborhood
 from repro.mwis.greedy import GreedyMWISSolver
 from repro.reporting import render_series, render_table
 from repro.sim.batch import child_seed_sequences
@@ -649,14 +650,47 @@ def _run_protocol(spec: ScenarioSpec) -> ExperimentResult:
         graph = spec.topology.with_size(num_nodes, num_channels).build(rng)
         extended = ExtendedConflictGraph(graph)
         weights = spec.channels.build_means(num_nodes, num_channels, rng).reshape(-1)
-        protocol = DistributedRobustPTAS(
-            extended.adjacency_sets(),
-            r=decision.r,
-            local_solver=GreedyMWISSolver()
+        adjacency = extended.adjacency_sets()
+        local_solver = (
+            GreedyMWISSolver()
             if decision.use_greedy_local_solver(extended.num_vertices)
-            else None,
+            else None
         )
-        run = protocol.run(weights)
+        if spec.transport.kind == "simulated":
+            protocol = DistributedRobustPTAS(
+                adjacency, r=decision.r, local_solver=local_solver
+            )
+            run = protocol.run(weights)
+        else:
+            # Non-simulated transports share the protocol's neighbourhood
+            # tables so k-hop routing is computed once per cell.
+            radii = (
+                decision.r,
+                decision.r + 1,
+                2 * decision.r + 1,
+                3 * decision.r + 2,
+            )
+            hoods = {
+                hops: [
+                    r_hop_neighborhood(adjacency, vertex, hops)
+                    for vertex in range(len(adjacency))
+                ]
+                for hops in radii
+            }
+            transport = spec.transport.build(
+                adjacency, run_seed=spec.seed, precomputed_neighborhoods=hoods
+            )
+            try:
+                protocol = DistributedRobustPTAS(
+                    adjacency,
+                    r=decision.r,
+                    local_solver=local_solver,
+                    precomputed_neighborhoods=hoods,
+                    transport=transport,
+                )
+                run = protocol.run(weights)
+            finally:
+                transport.close()
         protocol_runs[label] = run
         trajectory = list(run.weight_trajectory())
         if spec.schedule.max_mini_rounds > 0:

@@ -49,6 +49,7 @@ __all__ = [
     "PolicySpec",
     "ScheduleSpec",
     "DynamicsSpec",
+    "TransportSpec",
     "ReplicationSpec",
     "ScenarioSpec",
 ]
@@ -1003,6 +1004,163 @@ class ReplicationSpec:
 
 
 # ----------------------------------------------------------------------
+# TransportSpec
+# ----------------------------------------------------------------------
+TRANSPORT_KINDS = ("simulated", "asyncio")
+
+TRANSPORT_LATENCY_KINDS = ("none", "uniform", "exponential")
+
+#: Domain-separation tag mixed into the transport fault stream so it can
+#: never collide with the topology/channel stream rooted at the same seed.
+_TRANSPORT_STREAM_TAG = 0x7A57
+
+
+@dataclass(frozen=True)
+class TransportSpec:
+    """Which message transport runs the distributed protocol.
+
+    ``simulated`` (the default) is the in-process oracle network: instant,
+    in-order, lossless k-hop delivery.  ``asyncio`` runs the same protocol
+    over real asyncio streams between per-vertex tasks, with every control
+    message crossing the JSON wire codec; its ``latency`` / ``reorder`` /
+    ``drop`` knobs inject the delivery faults the oracle cannot express.
+    Under the lossless in-order default the two transports produce
+    bit-identical protocol envelopes (the equivalence contract of
+    ``docs/transport.md``), so flipping ``kind`` is always safe.
+
+    Only ``schedule.mode='protocol'`` scenarios are wired to non-simulated
+    transports (the per-round and periodic regimes run the decision many
+    times and stay on the oracle).
+    """
+
+    kind: str = "simulated"
+    #: Delivery latency distribution (asyncio only): ``none`` keeps arrivals
+    #: in send order, ``uniform``/``exponential`` draw virtual delays.
+    latency: str = "none"
+    #: Scale of the latency distribution, in broadcast ticks (asyncio only).
+    latency_scale: float = 1.0
+    #: Randomly permute same-time deliveries (asyncio only).
+    reorder: bool = False
+    #: Per-(message, recipient) drop probability (asyncio only).
+    drop: float = 0.0
+    #: Extra seed of the fault stream, mixed with the scenario seed
+    #: (asyncio only); lets sweeps vary faults without moving the topology.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    @property
+    def is_lossless(self) -> bool:
+        """Whether every broadcast reaches every in-range recipient."""
+        return self.drop == 0.0
+
+    def validate(self, path: str = "transport") -> None:
+        """Raise :class:`SpecError` when the transport spec is ill-formed."""
+        if self.kind not in TRANSPORT_KINDS:
+            raise SpecError(
+                f"{path}.kind: unknown transport kind {self.kind!r}; "
+                f"choose one of {sorted(TRANSPORT_KINDS)}"
+            )
+        if self.latency not in TRANSPORT_LATENCY_KINDS:
+            raise SpecError(
+                f"{path}.latency: unknown latency kind {self.latency!r}; "
+                f"choose one of {sorted(TRANSPORT_LATENCY_KINDS)}"
+            )
+        _reject_foreign_fields(
+            self,
+            {
+                "latency": ("asyncio",),
+                "latency_scale": ("asyncio",),
+                "reorder": ("asyncio",),
+                "drop": ("asyncio",),
+                "seed": ("asyncio",),
+            },
+            path,
+        )
+        if not (0.0 <= self.drop < 1.0):
+            raise SpecError(f"{path}.drop: must be in [0, 1), got {self.drop}")
+        if self.latency_scale <= 0:
+            raise SpecError(
+                f"{path}.latency_scale: must be positive, got {self.latency_scale}"
+            )
+        if self.latency_scale != 1.0 and self.latency == "none":
+            raise SpecError(
+                f"{path}.latency_scale: only meaningful with "
+                f"latency='uniform'/'exponential' (got latency='none')"
+            )
+        if isinstance(self.seed, bool) or not isinstance(self.seed, int):
+            raise SpecError(f"{path}.seed: expected an integer, got {self.seed!r}")
+        if self.seed < 0:
+            raise SpecError(f"{path}.seed: must be non-negative, got {self.seed}")
+
+    def build(
+        self,
+        adjacency,
+        *,
+        run_seed: int = 0,
+        precomputed_neighborhoods=None,
+    ):
+        """Materialize the :class:`~repro.distributed.transport.Transport`.
+
+        ``run_seed`` is the scenario seed; the asyncio fault stream is rooted
+        at ``(run_seed, tag, transport.seed)`` so it is independent of the
+        topology/channel draws.
+        """
+        from repro.distributed.runtime import AsyncioTransport
+        from repro.distributed.transport import SimulatedTransport
+
+        if self.kind == "simulated":
+            return SimulatedTransport(
+                adjacency, precomputed_neighborhoods=precomputed_neighborhoods
+            )
+        return AsyncioTransport(
+            adjacency,
+            precomputed_neighborhoods=precomputed_neighborhoods,
+            latency=self.latency,
+            latency_scale=self.latency_scale,
+            reorder=self.reorder,
+            drop_probability=self.drop,
+            seed=[run_seed, _TRANSPORT_STREAM_TAG, self.seed],
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation (inverse of :meth:`from_dict`)."""
+        return {
+            "kind": self.kind,
+            "latency": self.latency,
+            "latency_scale": self.latency_scale,
+            "reorder": self.reorder,
+            "drop": self.drop,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data, path: str = "transport") -> "TransportSpec":
+        """Deserialize, raising :class:`SpecError` with the offending path."""
+        data = _require_mapping(data, path)
+        _check_keys(data, cls, path)
+        kwargs: Dict[str, object] = {}
+        if "kind" in data:
+            kwargs["kind"] = _choice(data["kind"], TRANSPORT_KINDS, f"{path}.kind")
+        if "latency" in data:
+            kwargs["latency"] = _choice(
+                data["latency"], TRANSPORT_LATENCY_KINDS, f"{path}.latency"
+            )
+        if "latency_scale" in data:
+            kwargs["latency_scale"] = _as_float(
+                data["latency_scale"], f"{path}.latency_scale"
+            )
+        if "reorder" in data:
+            kwargs["reorder"] = _as_bool(data["reorder"], f"{path}.reorder")
+        if "drop" in data:
+            kwargs["drop"] = _as_float(data["drop"], f"{path}.drop")
+        if "seed" in data:
+            kwargs["seed"] = _as_int(data["seed"], f"{path}.seed")
+        return cls(**kwargs)
+
+
+# ----------------------------------------------------------------------
 # ScenarioSpec
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
@@ -1029,6 +1187,10 @@ class ScenarioSpec:
     schedule: ScheduleSpec = field(default_factory=ScheduleSpec)
     #: Topology dynamics threaded between rounds (per-round schedules only).
     dynamics: Optional[DynamicsSpec] = None
+    #: Message transport of the distributed protocol (protocol mode only
+    #: for non-simulated kinds).  Never ``None`` so ``--set transport.kind``
+    #: overrides always have a node to land on.
+    transport: TransportSpec = field(default_factory=TransportSpec)
     replication: ReplicationSpec = field(default_factory=ReplicationSpec)
     network_sweep: Tuple[Tuple[int, int], ...] = ()
     #: Approximation ratio assumed by the beta-regret benchmark (Fig. 7b).
@@ -1053,7 +1215,14 @@ class ScenarioSpec:
         self.topology.validate(f"{path}.topology")
         self.channels.validate(f"{path}.channels")
         self.schedule.validate(f"{path}.schedule")
+        self.transport.validate(f"{path}.transport")
         self.replication.validate(f"{path}.replication")
+        if self.transport.kind != "simulated" and self.schedule.mode != "protocol":
+            raise SpecError(
+                f"{path}.transport.kind: the {self.transport.kind!r} transport "
+                f"is only wired into schedule.mode='protocol' runs "
+                f"(got {self.schedule.mode!r})"
+            )
         if not self.policies:
             raise SpecError(
                 f"{path}.policies: at least one policy is required (protocol "
@@ -1152,6 +1321,7 @@ class ScenarioSpec:
             "policies": [policy.to_dict() for policy in self.policies],
             "schedule": self.schedule.to_dict(),
             "dynamics": self.dynamics.to_dict() if self.dynamics is not None else None,
+            "transport": self.transport.to_dict(),
             "replication": self.replication.to_dict(),
             "network_sweep": [list(cell) for cell in self.network_sweep],
             "alpha": self.alpha,
@@ -1195,6 +1365,10 @@ class ScenarioSpec:
         if data.get("dynamics") is not None:
             kwargs["dynamics"] = DynamicsSpec.from_dict(
                 data["dynamics"], f"{path}.dynamics"
+            )
+        if "transport" in data:
+            kwargs["transport"] = TransportSpec.from_dict(
+                data["transport"], f"{path}.transport"
             )
         if "replication" in data:
             kwargs["replication"] = ReplicationSpec.from_dict(

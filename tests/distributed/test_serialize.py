@@ -1,0 +1,155 @@
+"""Wire-codec round-trip and validation tests (repro.distributed.serialize)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.distributed import (
+    WIRE_SCHEMA,
+    LeaderDeclaration,
+    StatusDetermination,
+    WeightBroadcast,
+    WireError,
+    decode_message,
+    encode_message,
+    frame_to_message,
+    message_to_frame,
+)
+
+# Representative instances per message type; the coverage test below pins
+# that every class the codec knows about appears here.
+EXAMPLES = [
+    WeightBroadcast(sender=3, hop_limit=5, weight=212.5),
+    WeightBroadcast(sender=0, hop_limit=1, weight=0.0),
+    LeaderDeclaration(sender=7, hop_limit=3, weight=1.25, mini_round=2),
+    StatusDetermination(
+        sender=4, hop_limit=8, decisions={2: True, 9: False}, mini_round=1
+    ),
+    StatusDetermination(sender=1, hop_limit=2, decisions={}, mini_round=0),
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("message", EXAMPLES, ids=lambda m: type(m).__name__)
+    def test_frame_round_trip(self, message):
+        assert frame_to_message(message_to_frame(message)) == message
+
+    @pytest.mark.parametrize("message", EXAMPLES, ids=lambda m: type(m).__name__)
+    def test_bytes_round_trip(self, message):
+        encoded = encode_message(message)
+        assert isinstance(encoded, bytes)
+        assert encoded.endswith(b"\n")
+        assert decode_message(encoded) == message
+
+    def test_decode_accepts_str(self):
+        message = EXAMPLES[0]
+        assert decode_message(encode_message(message).decode("utf-8")) == message
+
+    def test_every_message_type_is_covered(self):
+        from repro.distributed.serialize import _TAG_OF
+
+        assert {type(m) for m in EXAMPLES} == set(_TAG_OF)
+
+    def test_decision_keys_restored_as_ints(self):
+        message = StatusDetermination(
+            sender=0, hop_limit=4, decisions={11: False}, mini_round=3
+        )
+        frame = message_to_frame(message)
+        # JSON objects only carry string keys on the wire ...
+        assert list(frame["decisions"].keys()) == ["11"]
+        # ... and decoding restores the integer ids.
+        decoded = frame_to_message(json.loads(encode_message(message)))
+        assert decoded.decisions == {11: False}
+
+    def test_frames_are_canonical_json(self):
+        encoded = encode_message(EXAMPLES[0]).rstrip(b"\n").decode("utf-8")
+        parsed = json.loads(encoded)
+        assert encoded == json.dumps(
+            parsed, sort_keys=True, separators=(",", ":"), allow_nan=False
+        )
+
+    def test_frame_carries_schema_and_type(self):
+        frame = message_to_frame(EXAMPLES[0])
+        assert frame["schema"] == WIRE_SCHEMA
+        assert frame["type"] == "weight-broadcast"
+
+
+class TestValidation:
+    def good_frame(self):
+        return message_to_frame(WeightBroadcast(sender=3, hop_limit=5, weight=2.0))
+
+    def test_wrong_schema_rejected(self):
+        frame = self.good_frame()
+        frame["schema"] = "repro.protocol-msg/v999"
+        with pytest.raises(WireError, match="schema"):
+            frame_to_message(frame)
+
+    def test_missing_schema_rejected(self):
+        frame = self.good_frame()
+        del frame["schema"]
+        with pytest.raises(WireError, match="schema"):
+            frame_to_message(frame)
+
+    def test_unknown_type_rejected(self):
+        frame = self.good_frame()
+        frame["type"] = "gossip"
+        with pytest.raises(WireError, match="gossip"):
+            frame_to_message(frame)
+
+    def test_unknown_field_rejected(self):
+        frame = self.good_frame()
+        frame["extra"] = 1
+        with pytest.raises(WireError, match="extra"):
+            frame_to_message(frame)
+
+    def test_missing_payload_field_rejected(self):
+        frame = self.good_frame()
+        del frame["weight"]
+        with pytest.raises(WireError, match="weight"):
+            frame_to_message(frame)
+
+    def test_bad_sender_type_rejected(self):
+        frame = self.good_frame()
+        frame["sender"] = "three"
+        with pytest.raises(WireError, match="sender"):
+            frame_to_message(frame)
+
+    def test_bool_is_not_an_int(self):
+        frame = self.good_frame()
+        frame["hop_limit"] = True
+        with pytest.raises(WireError, match="hop_limit"):
+            frame_to_message(frame)
+
+    def test_bad_decision_flag_rejected(self):
+        frame = message_to_frame(
+            StatusDetermination(sender=0, hop_limit=4, decisions={1: True})
+        )
+        frame["decisions"]["1"] = "winner"
+        with pytest.raises(WireError, match="decisions"):
+            frame_to_message(frame)
+
+    def test_bad_decision_key_rejected(self):
+        frame = message_to_frame(StatusDetermination(sender=0, hop_limit=4))
+        frame["decisions"] = {"seven": True}
+        with pytest.raises(WireError, match="decisions"):
+            frame_to_message(frame)
+
+    def test_decode_rejects_malformed_json(self):
+        with pytest.raises(WireError, match="JSON"):
+            decode_message(b"{not json}\n")
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(WireError):
+            decode_message(b"[1,2,3]\n")
+
+    def test_unserializable_message_class_rejected(self):
+        from repro.distributed.messages import Message
+
+        with pytest.raises(WireError, match="Message"):
+            message_to_frame(Message(sender=0, hop_limit=1))
+
+    def test_non_finite_weight_unencodable(self):
+        with pytest.raises(WireError):
+            encode_message(WeightBroadcast(sender=0, hop_limit=1, weight=float("nan")))

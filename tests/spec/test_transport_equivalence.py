@@ -1,0 +1,63 @@
+"""The transport equivalence contract, at the envelope level.
+
+For EVERY registered protocol-mode preset, running the scenario over the
+real asyncio transport (lossless, in-order — the default knobs) must produce
+a result envelope bit-identical to the simulated oracle run.  The preset
+list is discovered from the registry, so new protocol presets are covered
+automatically.
+
+The paper-scale presets run here too (a few tens of seconds total); the
+contract is only worth stating if it holds at full scale.
+"""
+
+import pytest
+
+from repro.spec import (
+    apply_overrides,
+    default_registry,
+    get_scenario,
+    run_scenario,
+)
+
+PROTOCOL_PRESETS = [
+    name
+    for name in default_registry().names()
+    if get_scenario(name).schedule.mode == "protocol"
+]
+
+
+def comparable_envelope(result):
+    """The result as a dict, minus fields allowed to differ between runs."""
+    data = result.to_dict()
+    data.pop("wall_clock_s", None)
+    data.pop("spec", None)  # carries the transport node itself
+    return data
+
+
+def test_registry_has_protocol_presets():
+    # Guards the parametrization below against silently going empty.
+    assert "fig6-quick" in PROTOCOL_PRESETS
+    assert "fig6-smoke" in PROTOCOL_PRESETS
+
+
+@pytest.mark.parametrize("name", PROTOCOL_PRESETS)
+def test_asyncio_envelope_is_bit_identical(name):
+    spec = get_scenario(name)
+    simulated = comparable_envelope(run_scenario(spec))
+    asyncio_run = comparable_envelope(
+        run_scenario(apply_overrides(spec, {"transport.kind": "asyncio"}))
+    )
+    assert asyncio_run == simulated
+
+
+def test_lossy_asyncio_preset_completes():
+    # A seeded lossy run is allowed to diverge from the oracle but must
+    # still terminate and produce a well-formed envelope.
+    spec = apply_overrides(
+        get_scenario("fig6-smoke"),
+        {"transport.kind": "asyncio", "transport.drop": 0.2},
+    )
+    result = run_scenario(spec)
+    envelope = result.to_dict()
+    assert envelope["scenario"] == "fig6-smoke"
+    assert envelope["records"]

@@ -1,0 +1,174 @@
+"""TransportSpec tests: validation, round-trips, hash stability, build()."""
+
+import json
+
+import pytest
+
+from repro.distributed import AsyncioTransport, SimulatedTransport
+from repro.spec import (
+    ScenarioSpec,
+    SpecError,
+    TransportSpec,
+    apply_overrides,
+    canonical_spec_dict,
+    get_scenario,
+    spec_hash,
+)
+
+
+class TestValidation:
+    def test_default_is_valid_and_lossless(self):
+        spec = TransportSpec()
+        assert spec.kind == "simulated"
+        assert spec.is_lossless
+
+    def test_unknown_kind_lists_choices(self):
+        with pytest.raises(SpecError, match="transport.kind.*'carrier-pigeon'"):
+            TransportSpec(kind="carrier-pigeon")
+
+    def test_unknown_latency_kind_lists_choices(self):
+        with pytest.raises(SpecError, match="transport.latency.*'gaussian'"):
+            TransportSpec(kind="asyncio", latency="gaussian")
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("latency", "uniform"),
+            ("latency_scale", 2.0),
+            ("reorder", True),
+            ("drop", 0.1),
+            ("seed", 7),
+        ],
+    )
+    def test_asyncio_knobs_rejected_on_simulated(self, field, value):
+        # Kind-irrelevant knobs are an error, not silently ignored.
+        with pytest.raises(SpecError, match=f"transport.{field}"):
+            TransportSpec(kind="simulated", **{field: value})
+
+    def test_drop_range_enforced(self):
+        with pytest.raises(SpecError, match="transport.drop.*\\[0, 1\\)"):
+            TransportSpec(kind="asyncio", drop=1.0)
+        with pytest.raises(SpecError, match="transport.drop"):
+            TransportSpec(kind="asyncio", drop=-0.1)
+
+    def test_latency_scale_requires_latency(self):
+        with pytest.raises(SpecError, match="transport.latency_scale"):
+            TransportSpec(kind="asyncio", latency_scale=2.0)
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(SpecError, match="transport.seed"):
+            TransportSpec(kind="asyncio", seed=-1)
+
+    def test_error_path_is_customizable(self):
+        with pytest.raises(SpecError, match="spec.transport.kind"):
+            TransportSpec.from_dict({"kind": "bogus"}, path="spec.transport")
+
+    def test_asyncio_requires_protocol_mode(self):
+        spec = get_scenario("fig7-quick")  # a per-round scenario
+        with pytest.raises(SpecError, match="transport.kind.*protocol"):
+            apply_overrides(spec, {"transport.kind": "asyncio"})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(SpecError, match="transport.*jitter"):
+            TransportSpec.from_dict({"kind": "asyncio", "jitter": 1})
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            TransportSpec(),
+            TransportSpec(kind="asyncio"),
+            TransportSpec(
+                kind="asyncio",
+                latency="exponential",
+                latency_scale=0.5,
+                reorder=True,
+                drop=0.25,
+                seed=9,
+            ),
+        ],
+        ids=["default", "asyncio", "asyncio-lossy"],
+    )
+    def test_json_round_trip(self, spec):
+        assert TransportSpec.from_dict(json.loads(json.dumps(spec.to_dict()))) == spec
+
+    def test_scenario_round_trip_with_transport(self):
+        spec = apply_overrides(
+            get_scenario("fig6-quick"),
+            {"transport.kind": "asyncio", "transport.drop": 0.1},
+        )
+        restored = ScenarioSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert restored == spec
+        assert restored.transport.drop == 0.1
+
+    def test_scenario_without_transport_key_gets_default(self):
+        data = get_scenario("fig6-quick").to_dict()
+        data.pop("transport")
+        assert ScenarioSpec.from_dict(data).transport == TransportSpec()
+
+
+class TestHashStability:
+    """The default transport node must not change any existing store hash."""
+
+    def test_default_transport_stripped_from_canonical_dict(self):
+        canonical = canonical_spec_dict(get_scenario("fig6-quick"))
+        assert "transport" not in canonical
+
+    def test_hash_identical_with_and_without_transport_key(self):
+        # A spec dict written before the transport field existed must hash to
+        # the same key as today's default, or every stored result goes stale.
+        spec = get_scenario("fig6-quick")
+        data = spec.to_dict()
+        data.pop("transport")
+        pre_field = ScenarioSpec.from_dict(data)
+        assert spec_hash(pre_field) == spec_hash(spec)
+
+    def test_non_default_transport_changes_hash(self):
+        spec = get_scenario("fig6-quick")
+        asyncio_spec = apply_overrides(spec, {"transport.kind": "asyncio"})
+        assert "transport" in canonical_spec_dict(asyncio_spec)
+        assert spec_hash(asyncio_spec) != spec_hash(spec)
+
+    def test_override_set_syntax_works(self):
+        spec = apply_overrides(
+            get_scenario("fig6-quick"), {"transport.kind": "asyncio"}
+        )
+        assert spec.transport.kind == "asyncio"
+
+
+class TestBuild:
+    ADJACENCY = [{1}, {0, 2}, {1}]
+
+    def test_simulated_build(self):
+        transport = TransportSpec().build(self.ADJACENCY)
+        assert isinstance(transport, SimulatedTransport)
+        assert transport.num_vertices == 3
+
+    def test_asyncio_build(self):
+        transport = TransportSpec(kind="asyncio").build(self.ADJACENCY, run_seed=5)
+        try:
+            assert isinstance(transport, AsyncioTransport)
+            assert transport.is_lossless
+        finally:
+            transport.close()
+
+    def test_fault_stream_mixes_run_seed(self):
+        # Same transport seed, different scenario seeds -> different faults.
+        spec = TransportSpec(kind="asyncio", drop=0.5, seed=1)
+        traces = []
+        for run_seed in (0, 1):
+            transport = spec.build(self.ADJACENCY, run_seed=run_seed)
+            try:
+                from repro.distributed import WeightBroadcast
+
+                for sender in range(3):
+                    transport.broadcast(
+                        WeightBroadcast(sender=sender, hop_limit=2, weight=1.0),
+                        phase="WB",
+                    )
+                    transport.collect(sender)
+                traces.append(list(transport.delivery_trace))
+            finally:
+                transport.close()
+        assert traces[0] != traces[1]

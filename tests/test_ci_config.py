@@ -47,6 +47,7 @@ class TestWorkflow:
             "cli-smoke",
             "sweep-smoke",
             "dynamics-smoke",
+            "transport-smoke",
         }
 
     def test_concurrency_cancels_in_progress_runs(self):
@@ -130,6 +131,28 @@ class TestWorkflow:
         assert any(
             'stats["computed"] == 0' in command for command in commands
         ), "sweep-smoke must assert the re-run is served 100% from the store"
+
+    def test_transport_smoke_diffs_both_transports_and_runs_lossy(self):
+        smoke = _load_workflow()["jobs"]["transport-smoke"]
+        commands = [step.get("run", "") for step in smoke["steps"]]
+        assert any(
+            "repro run fig6-smoke" in command
+            and "transport.kind=asyncio" not in command
+            for command in commands
+        ), "transport-smoke must run fig6-smoke on the simulated transport"
+        assert any(
+            "repro run fig6-smoke" in command
+            and "transport.kind=asyncio" in command
+            and "transport.drop" not in command
+            for command in commands
+        ), "transport-smoke must run fig6-smoke on the lossless asyncio transport"
+        assert any(
+            "simulated == asyncio_run" in command for command in commands
+        ), "transport-smoke must diff the two result envelopes"
+        assert any(
+            "transport.drop" in command and "transport.kind=asyncio" in command
+            for command in commands
+        ), "transport-smoke must run a seeded lossy asyncio scenario"
 
     def test_cli_smoke_runs_a_registered_scenario_and_validates_json(self):
         smoke = _load_workflow()["jobs"]["cli-smoke"]
