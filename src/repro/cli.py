@@ -194,7 +194,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="list the built-in sweep plans and exit",
     )
 
-    subparsers.add_parser("list", help="list the registered scenarios")
+    list_cmd = subparsers.add_parser("list", help="list the registered scenarios")
+    list_cmd.add_argument(
+        "--mode",
+        choices=("per-round", "periodic", "protocol", "dynamic"),
+        default=None,
+        help="only show scenarios of one schedule mode ('dynamic' selects "
+        "per-round scenarios with topology dynamics attached)",
+    )
 
     show = subparsers.add_parser("show", help="print a scenario's JSON spec")
     show.add_argument("scenario", help="registered scenario name")
@@ -399,9 +406,10 @@ def _run_sweep_command(args) -> str:
     return format_sweep(sweep)
 
 
-def _list_scenarios_command(_args) -> str:
+def _list_scenarios_command(args) -> str:
     from repro.reporting import render_table
 
+    wanted = getattr(args, "mode", None)
     registry = default_registry()
     rows = []
     for name in registry.names():
@@ -414,8 +422,22 @@ def _list_scenarios_command(_args) -> str:
         mode = spec.schedule.mode
         if spec.dynamics is not None:
             mode = f"dynamic/{spec.dynamics.kind}"
-        rows.append([name, mode, topology, spec.description])
-    return render_table(["scenario", "mode", "networks", "description"], rows)
+        if wanted is not None:
+            matches = (
+                mode.startswith("dynamic/")
+                if wanted == "dynamic"
+                else mode == wanted
+            )
+            if not matches:
+                continue
+        # Protocol scenarios are the only ones wired to the faults /
+        # non-simulated transport nodes, so `--set faults.*` and
+        # `--set transport.*` overrides only land there.
+        accepts = "faults,transport" if spec.schedule.mode == "protocol" else "-"
+        rows.append([name, mode, topology, accepts, spec.description])
+    return render_table(
+        ["scenario", "mode", "networks", "accepts", "description"], rows
+    )
 
 
 def _show_scenario_command(args) -> str:

@@ -26,6 +26,7 @@ Implements the distributed strategy-decision machinery of the paper:
 """
 
 from repro.distributed.messages import (
+    Accusation,
     Message,
     WeightBroadcast,
     LeaderDeclaration,
@@ -70,6 +71,7 @@ from repro.distributed.costs import (
 
 __all__ = [
     "Message",
+    "Accusation",
     "WeightBroadcast",
     "LeaderDeclaration",
     "StatusDetermination",

@@ -12,6 +12,11 @@ strategy decision (Section IV).  Three message types are exchanged per round
   announces Winner / Loser decisions for its r-hop candidates (and the
   Winners' direct neighbours) within ``(3r + 2)`` hops.
 
+A fourth message type exists only in fault-mitigation runs
+(:mod:`repro.faults`): ``Accusation`` lets an honest vertex that caught a
+neighbour sending inconsistent claims spread the evidence within ``(2r + 1)``
+hops, so a DLS-style quorum of accusers can exclude the sender everywhere.
+
 Each message carries its hop budget so the message network can both deliver
 it to the right recipients and account mini-timeslots.
 """
@@ -21,7 +26,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping
 
-__all__ = ["Message", "WeightBroadcast", "LeaderDeclaration", "StatusDetermination"]
+__all__ = [
+    "Message",
+    "WeightBroadcast",
+    "LeaderDeclaration",
+    "StatusDetermination",
+    "Accusation",
+]
 
 
 @dataclass(frozen=True)
@@ -75,3 +86,23 @@ class StatusDetermination(Message):
     def payload_size(self) -> int:
         # One (vertex id, decision bit) pair per determined vertex.
         return max(1, len(self.decisions))
+
+
+@dataclass(frozen=True)
+class Accusation(Message):
+    """An honest vertex reports evidence against an inconsistent sender.
+
+    Only emitted in fault-mitigation runs (:mod:`repro.faults`).  ``accused``
+    names the vertex that sent a claim contradicting the accuser's local
+    knowledge; ``reason`` is a short machine-readable evidence tag (e.g.
+    ``"weight-mismatch"``, ``"dependent-winners"``, ``"not-leader"``).
+    A receiver excludes the accused once a quorum of distinct accusers is
+    reached.
+    """
+
+    accused: int = 0
+    reason: str = ""
+    mini_round: int = 0
+
+    def payload_size(self) -> int:
+        return 2

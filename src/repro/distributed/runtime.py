@@ -601,6 +601,11 @@ class AsyncioTransport(Transport):
         #: ``(message type, sender, recipient)`` per delivery, in delivery
         #: order.  The determinism contract: same seed => same trace.
         self.delivery_trace: List[Tuple[str, int, int]] = []
+        # Telemetry accumulators summarized by :meth:`telemetry_summary`.
+        self._latency_total = 0.0
+        self._latency_max = 0.0
+        self._out_of_order = 0
+        self._last_delivered_seq: List[int] = [0] * self._num_vertices
 
         self._closed = False
         self._loop = asyncio.new_event_loop()
@@ -715,6 +720,9 @@ class AsyncioTransport(Transport):
                 (self._clock + delay, jitter, self._sequence, recipient, line)
             )
             self._deliveries += 1
+            self._latency_total += delay
+            if delay > self._latency_max:
+                self._latency_max = delay
         self._last_recipients = len(recipients)
 
     async def _until_routed(self) -> None:
@@ -727,7 +735,13 @@ class AsyncioTransport(Transport):
             await asyncio.sleep(0)
         staged = sorted(self._staged)
         self._staged.clear()
-        for index, (_, _, _, recipient, line) in enumerate(staged):
+        for index, (_, _, sequence, recipient, line) in enumerate(staged):
+            # A frame delivered after a later-sent frame to the same recipient
+            # arrived out of send order (latency or reordering moved it).
+            if sequence < self._last_delivered_seq[recipient]:
+                self._out_of_order += 1
+            else:
+                self._last_delivered_seq[recipient] = sequence
             self._in_flight += 1
             self._down_writers[recipient].write(line)
             if index % _FLUSH_YIELD_EVERY == _FLUSH_YIELD_EVERY - 1:
@@ -809,6 +823,31 @@ class AsyncioTransport(Transport):
             return self._mini_timeslots.get(phase, 0)
         return sum(self._mini_timeslots.values())
 
+    def telemetry_summary(self) -> Dict[str, float]:
+        """Flat numeric summary of the delivery trace and fault model.
+
+        Keys are envelope-record ready (all values are floats): totals for
+        deliveries / drops / out-of-order arrivals, virtual-latency stats,
+        and one ``delivered_<tag>`` counter per message type observed in
+        :attr:`delivery_trace`.  Lossy and faulty runs surface this into the
+        JSON envelope so they are diagnosable without re-running.
+        """
+        summary: Dict[str, float] = {
+            "net_deliveries": float(self._deliveries),
+            "net_dropped": float(self._dropped),
+            "net_out_of_order": float(self._out_of_order),
+            "net_latency_mean": (
+                self._latency_total / self._deliveries if self._deliveries else 0.0
+            ),
+            "net_latency_max": float(self._latency_max),
+        }
+        per_type: Dict[str, int] = {}
+        for type_name, _, _ in self.delivery_trace:
+            per_type[type_name] = per_type.get(type_name, 0) + 1
+        for type_name in sorted(per_type):
+            summary[f"net_delivered_{type_name}"] = float(per_type[type_name])
+        return summary
+
     def reset_costs(self) -> None:
         """Zero all counters (inboxes and staged deliveries are kept)."""
         self._messages_sent = [0] * self._num_vertices
@@ -827,6 +866,10 @@ class AsyncioTransport(Transport):
         self._staged.clear()
         self._inboxes = [[] for _ in range(self._num_vertices)]
         self.delivery_trace = []
+        self._latency_total = 0.0
+        self._latency_max = 0.0
+        self._out_of_order = 0
+        self._last_delivered_seq = [0] * self._num_vertices
         self.reset_costs()
 
     @property

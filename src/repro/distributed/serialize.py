@@ -24,6 +24,7 @@ import json
 from typing import Dict, Mapping, Type, Union
 
 from repro.distributed.messages import (
+    Accusation,
     LeaderDeclaration,
     Message,
     StatusDetermination,
@@ -48,6 +49,10 @@ _TAG_OF: Dict[Type[Message], str] = {
     WeightBroadcast: "weight-broadcast",
     LeaderDeclaration: "leader-declaration",
     StatusDetermination: "status-determination",
+    # Added by the fault-mitigation mode (repro.faults).  New types are a
+    # backward-compatible extension of the schema: old peers reject unknown
+    # tags with a WireError, they do not misparse them.
+    Accusation: "accusation",
 }
 _CLASS_OF: Dict[str, Type[Message]] = {tag: cls for cls, tag in _TAG_OF.items()}
 
@@ -81,6 +86,10 @@ def message_to_frame(message: Message) -> Dict[str, object]:
             str(vertex): bool(flag) for vertex, flag in message.decisions.items()
         }
         frame["mini_round"] = message.mini_round
+    elif isinstance(message, Accusation):
+        frame["accused"] = message.accused
+        frame["reason"] = str(message.reason)
+        frame["mini_round"] = message.mini_round
     return frame
 
 
@@ -98,11 +107,19 @@ def _require_float(frame: Mapping, key: str) -> float:
     return float(value)
 
 
+def _require_str(frame: Mapping, key: str) -> str:
+    value = frame.get(key)
+    if not isinstance(value, str):
+        raise WireError(f"frame.{key}: expected a string, got {value!r}")
+    return value
+
+
 _COMMON_KEYS = frozenset({"schema", "type", "sender", "hop_limit"})
 _PAYLOAD_KEYS = {
     "weight-broadcast": frozenset({"weight"}),
     "leader-declaration": frozenset({"weight", "mini_round"}),
     "status-determination": frozenset({"decisions", "mini_round"}),
+    "accusation": frozenset({"accused", "reason", "mini_round"}),
 }
 
 
@@ -137,6 +154,14 @@ def frame_to_message(frame: Mapping) -> Message:
             sender=sender,
             hop_limit=hop_limit,
             weight=_require_float(frame, "weight"),
+            mini_round=_require_int(frame, "mini_round"),
+        )
+    if cls is Accusation:
+        return Accusation(
+            sender=sender,
+            hop_limit=hop_limit,
+            accused=_require_int(frame, "accused"),
+            reason=_require_str(frame, "reason"),
             mini_round=_require_int(frame, "mini_round"),
         )
     raw = frame.get("decisions")

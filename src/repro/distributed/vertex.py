@@ -114,29 +114,52 @@ class VertexAgent:
         """The weight this vertex currently announces for itself."""
         return self.known_weights.get(self.vertex, 0.0)
 
-    def candidate_neighbors(self, hop_set: Optional[Set[int]] = None) -> Set[int]:
+    def candidate_neighbors(
+        self,
+        hop_set: Optional[Set[int]] = None,
+        exclude: Optional[Set[int]] = None,
+    ) -> Set[int]:
         """Vertices of ``hop_set`` (default: the (2r+1)-hop neighbourhood)
-        still believed to be Candidates, *excluding* this vertex."""
+        still believed to be Candidates, *excluding* this vertex.
+
+        ``exclude`` drops additional vertices from the result; fault-mitigation
+        runs pass the set of suspected-crashed / evidence-excluded vertices so
+        the election stops waiting on them.  ``None`` (the default) keeps the
+        honest-path behaviour bit for bit.
+        """
         horizon = hop_set if hop_set is not None else self.neighborhood_2r1
-        return {
+        candidates = {
             u
             for u in horizon
             if u != self.vertex
             and not self.known_statuses.get(u, VertexStatus.CANDIDATE).is_decided
         }
+        if exclude:
+            candidates -= exclude
+        return candidates
 
-    def candidate_set_r(self) -> Set[int]:
+    def candidate_set_r(self, exclude: Optional[Set[int]] = None) -> Set[int]:
         """``A_r(v)``: Candidate vertices (including self) in the r-hop
-        neighbourhood, according to local knowledge."""
+        neighbourhood, according to local knowledge.
+
+        ``exclude`` removes vertices (other than self) from the set, used by
+        fault-mitigation runs so excluded senders never receive Winner slots.
+        """
         candidates = {
             u
             for u in self.neighborhood_r
             if not self.known_statuses.get(u, VertexStatus.CANDIDATE).is_decided
         }
+        if exclude:
+            candidates -= exclude
         candidates.add(self.vertex)
         return candidates
 
-    def is_local_maximum(self, weights: Mapping[int, float]) -> bool:
+    def is_local_maximum(
+        self,
+        weights: Mapping[int, float],
+        exclude: Optional[Set[int]] = None,
+    ) -> bool:
         """Line 3 of Algorithm 3: is this vertex the maximum-weight Candidate
         of its (2r+1)-hop neighbourhood?
 
@@ -148,7 +171,7 @@ class VertexAgent:
         if self.status != VertexStatus.CANDIDATE:
             return False
         own = (weights.get(self.vertex, self.own_weight()), -self.vertex)
-        for other in self.candidate_neighbors():
+        for other in self.candidate_neighbors(exclude=exclude):
             other_key = (weights.get(other, self.known_weights.get(other, 0.0)), -other)
             if other_key > own:
                 return False

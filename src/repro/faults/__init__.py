@@ -1,0 +1,54 @@
+"""Crash-stop and Byzantine fault injection for the distributed PTAS.
+
+The subsystem has three layers:
+
+* :mod:`repro.faults.plan` — *what fails*: seeded, content-hashed, JSON
+  round-tripping :class:`FaultPlan` objects naming crashed and Byzantine
+  vertices (the fault counterpart of the dynamics ``EventSchedule``).
+* :mod:`repro.faults.runtime` — *how it fails*: fault-wrapped
+  ``VertexProtocol`` machines and the :class:`FaultInjectionEngine` driver
+  that injects the faults into a real protocol run over any transport.
+* :mod:`repro.faults.quorum` — *how honest vertices cope*: evidence
+  checking, DLS-style accusation quorums and the Algorithm-Two termination
+  bound that replaces waiting on dead neighbours.
+
+Scenario wiring (the ``faults`` node of a ``ScenarioSpec``) lives in
+:mod:`repro.spec.scenario`; presets are ``faults-quick`` / ``faults-paper``
+and the ``byzantine-sweep`` plan.
+"""
+
+from repro.faults.plan import (
+    BYZANTINE_BEHAVIORS,
+    CRASH_PHASES,
+    ByzantineFault,
+    CrashFault,
+    FaultPlan,
+    VertexFault,
+    fault_from_dict,
+    generate_fault_plan,
+)
+from repro.faults.quorum import QuorumConfig, QuorumState, termination_bound
+from repro.faults.runtime import (
+    FaultController,
+    FaultInjectionEngine,
+    FaultReport,
+    FaultyVertexProtocol,
+)
+
+__all__ = [
+    "CRASH_PHASES",
+    "BYZANTINE_BEHAVIORS",
+    "VertexFault",
+    "CrashFault",
+    "ByzantineFault",
+    "FaultPlan",
+    "fault_from_dict",
+    "generate_fault_plan",
+    "QuorumConfig",
+    "QuorumState",
+    "termination_bound",
+    "FaultController",
+    "FaultyVertexProtocol",
+    "FaultReport",
+    "FaultInjectionEngine",
+]

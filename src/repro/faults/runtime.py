@@ -1,0 +1,709 @@
+"""Fault injection over the message-driven protocol runtime.
+
+:class:`FaultyVertexProtocol` wraps the per-vertex state machine of
+:class:`~repro.distributed.runtime.VertexProtocol` with three roles:
+
+* **crashed** — from its scheduled ``(mini_round, phase)`` boundary onward
+  the vertex neither broadcasts nor receives; its last announced state keeps
+  haunting its neighbourhood (the classic stalled-leader / silent-blocker
+  failures).
+* **Byzantine** — the vertex stays live but corrupts what it sends: an
+  inflated WB weight, and (behavior-dependent) usurped or deliberately
+  conflicting LB decisions.  Every corrupted message is an ordinary typed
+  message broadcast through the real transport, so on
+  :class:`~repro.distributed.runtime.AsyncioTransport` the lies cross the
+  JSON wire codec like any honest frame.
+* **honest + mitigation** — with quorum checking enabled, honest vertices
+  hold a :class:`~repro.faults.quorum.QuorumState`: they cross-validate
+  every claim against their (2r+1)-hop knowledge, exclude senders caught
+  lying (direct evidence, then an ``Accusation`` quorum for vertices
+  outside the evidence horizon), and suspect silent blockers after the
+  Algorithm-Two termination bound instead of waiting on dead neighbours.
+
+:class:`FaultInjectionEngine` mirrors the synchronous driver of
+:class:`~repro.distributed.runtime.ProtocolEngine` — same phase barriers,
+same cost accounting — plus a fault clock, an accusation (QR) phase and the
+fault metrics summarized in :class:`FaultReport`.  It is deliberately a
+separate driver: the honest engine stays byte-identical, and a faulty run
+on a lossless transport is *expected* to lose independence or convergence,
+which the honest engine treats as a bug.
+
+All fault behaviour is deterministic given the plan (no runtime randomness),
+so the transport-equivalence contract extends to fault runs: a lossless
+in-order asyncio run is bit-identical to the simulated oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.distributed.costs import CommunicationCosts, ComputationCosts, RoundCosts
+from repro.distributed.messages import (
+    Accusation,
+    LeaderDeclaration,
+    Message,
+    StatusDetermination,
+    WeightBroadcast,
+)
+from repro.distributed.runtime import (
+    MiniRoundRecord,
+    ProtocolResult,
+    VertexProtocol,
+    _DictWeights,
+)
+from repro.distributed.transport import Transport
+from repro.distributed.vertex import VertexStatus
+from repro.faults.plan import FaultPlan
+from repro.faults.quorum import QuorumConfig, QuorumState, termination_bound
+from repro.mwis.base import Adjacency, IndependentSet, MWISSolver, is_independent
+from repro.mwis.local import solve_local_mwis
+
+__all__ = [
+    "FaultController",
+    "FaultyVertexProtocol",
+    "FaultReport",
+    "FaultInjectionEngine",
+]
+
+#: Total order of the phases a fault clock can point at.
+_PHASE_WB, _PHASE_LD, _PHASE_LB = 0, 1, 2
+
+
+class FaultController:
+    """Shared, read-only fault state of one protocol run.
+
+    Owns the plan, the fault clock the engine advances, and the deterministic
+    fake weights Byzantine vertices announce.  A fake weight is
+    ``1.5 * max(true (2r+1)-hop weight) + 1.0`` — strictly above everything
+    the vertex could legitimately see, so the lie wins every election it
+    reaches, and a pure function of the primed truth, so both transports
+    (and both ends of the wire codec) see the identical float.
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        adjacency: Adjacency,
+        hood_2r1: List[Set[int]],
+        quorum: Optional[QuorumConfig] = None,
+    ) -> None:
+        self.plan = plan
+        self.crashes = plan.crashes
+        self.byzantine = plan.byzantine
+        self.adjacency = adjacency
+        self.hood_2r1 = hood_2r1
+        self.quorum = quorum
+        #: Fault clock: (mini_round, phase index), advanced by the engine.
+        self.clock: Tuple[int, int] = (0, _PHASE_WB)
+        self._fake_weights: Dict[int, float] = {}
+
+    def is_crashed(self, vertex: int) -> bool:
+        """Has ``vertex``'s scheduled crash time passed on the fault clock?"""
+        fault = self.crashes.get(vertex)
+        return fault is not None and self.clock >= fault.crash_time()
+
+    def fake_weight(self, vertex: int, known_weights: Mapping[int, float]) -> float:
+        """The inflated weight Byzantine ``vertex`` announces (memoized).
+
+        The claim exceeds the *sum* of all true weights in the vertex's
+        (2r+1)-hop horizon, so it wins every election it enters and — the
+        rational attack — dominates any honest alternative a leader's exact
+        local MWIS could pick inside its candidate ball.  A pure function of
+        the primed truth: no runtime randomness, so fault runs stay
+        transport-deterministic.
+        """
+        cached = self._fake_weights.get(vertex)
+        if cached is None:
+            horizon_total = sum(
+                known_weights.get(u, 0.0) for u in self.hood_2r1[vertex]
+            )
+            cached = horizon_total * 1.5 + 1.0
+            self._fake_weights[vertex] = cached
+        return cached
+
+
+class FaultyVertexProtocol(VertexProtocol):
+    """A :class:`VertexProtocol` whose behaviour a fault plan can corrupt."""
+
+    def __init__(self, *args, controller: FaultController, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._controller = controller
+        byzantine = controller.byzantine.get(self.vertex)
+        #: Byzantine behavior tag, or ``None`` for honest / crash-only vertices.
+        self.behavior: Optional[str] = byzantine.behavior if byzantine else None
+        #: Mitigation ledger; only honest vertices run quorum checks.
+        self.quorum_state: Optional[QuorumState] = (
+            QuorumState(controller.quorum)
+            if controller.quorum is not None and byzantine is None
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    # WB phase
+    # ------------------------------------------------------------------
+    def announce_weight(self) -> Optional[WeightBroadcast]:
+        if self._controller.is_crashed(self.vertex):
+            return None
+        if self.behavior is not None:
+            # Observe the lie into our own knowledge first, so the base
+            # broadcast announces it and our own elections believe it.
+            fake = self._controller.fake_weight(self.vertex, self.agent.known_weights)
+            self.agent.observe_weight(self.vertex, fake)
+        return super().announce_weight()
+
+    # ------------------------------------------------------------------
+    # LD phase
+    # ------------------------------------------------------------------
+    def begin_mini_round(self, mini_round: int) -> Optional[LeaderDeclaration]:
+        if self._controller.is_crashed(self.vertex):
+            return None
+        state = self.quorum_state
+        if state is None:
+            return super().begin_mini_round(mini_round)
+        agent = self.agent
+        if agent.status != VertexStatus.CANDIDATE:
+            return None
+        ignore = state.excluded | state.suspected
+        if not agent.is_local_maximum(agent.known_weights, exclude=ignore):
+            return None
+        agent.mark(VertexStatus.LOCAL_LEADER)
+        message = LeaderDeclaration(
+            sender=self.vertex,
+            hop_limit=2 * self._r + 1,
+            weight=agent.own_weight(),
+            mini_round=mini_round,
+        )
+        self._transport.broadcast(message, phase="LD")
+        return message
+
+    # ------------------------------------------------------------------
+    # LMWIS + LB phase
+    # ------------------------------------------------------------------
+    def determine_statuses(self, mini_round: int) -> Optional[StatusDetermination]:
+        if self._controller.is_crashed(self.vertex):
+            # The stalled-leader failure: a LocalLeader that declared itself
+            # and died before LB leaves its whole ball waiting.
+            return None
+        if self.behavior in ("winner-usurpation", "conflicting-decisions"):
+            return self._corrupt_determination(mini_round)
+        state = self.quorum_state
+        if state is None:
+            return super().determine_statuses(mini_round)
+        agent = self.agent
+        if agent.status != VertexStatus.LOCAL_LEADER:
+            return None
+        # Same decision rule as the honest path, but excluded / suspected
+        # vertices never receive Winner slots: A_r(v) is filtered before the
+        # local MWIS.  (They can still be Loser-marked as Winner neighbours,
+        # which only confirms their exclusion.)
+        ignore = state.excluded | state.suspected
+        candidate_set = agent.candidate_set_r(exclude=ignore)
+        local_weights = {
+            vertex: agent.known_weights.get(vertex, 0.0) for vertex in candidate_set
+        }
+        solution = solve_local_mwis(
+            self._adjacency,
+            _DictWeights(local_weights, len(self._adjacency)),
+            candidate_set,
+            solver=self._local_solver,
+        )
+        winners = set(solution.vertices)
+        if not winners:
+            winners = {self.vertex}
+        winner_neighbors: Set[int] = set()
+        for winner in winners:
+            winner_neighbors |= self._adjacency[winner]
+        removal = candidate_set | {
+            vertex
+            for vertex in winner_neighbors
+            if vertex in self._hood_r1
+            and not agent.known_statuses.get(
+                vertex, VertexStatus.CANDIDATE
+            ).is_decided
+        }
+        losers = removal - winners
+        self.last_candidate_set_size = len(candidate_set)
+        decisions: Dict[int, bool] = {vertex: True for vertex in winners}
+        decisions.update({vertex: False for vertex in losers})
+        message = StatusDetermination(
+            sender=self.vertex,
+            hop_limit=3 * self._r + 2,
+            decisions=decisions,
+            mini_round=mini_round,
+        )
+        self._transport.broadcast(message, phase="LB")
+        for vertex, is_winner in decisions.items():
+            status = VertexStatus.WINNER if is_winner else VertexStatus.LOSER
+            if vertex == self.vertex:
+                agent.mark(status)
+            agent.observe_status(vertex, status)
+        return message
+
+    def _corrupt_determination(self, mini_round: int) -> Optional[StatusDetermination]:
+        """Byzantine LB: skip the LMWIS and claim what the behavior dictates."""
+        agent = self.agent
+        if agent.status != VertexStatus.LOCAL_LEADER:
+            return None
+        candidate_set = agent.candidate_set_r()
+        self.last_candidate_set_size = len(candidate_set)
+        winners: Set[int] = {self.vertex}
+        if self.behavior == "conflicting-decisions":
+            # Also crown the heaviest adjacent candidate: two adjacent
+            # Winners in one LB, a direct independence violation.
+            partner = None
+            partner_key = None
+            for u in self._adjacency[self.vertex]:
+                if agent.known_statuses.get(u, VertexStatus.CANDIDATE).is_decided:
+                    continue
+                key = (agent.known_weights.get(u, 0.0), -u)
+                if partner_key is None or key > partner_key:
+                    partner, partner_key = u, key
+            if partner is not None:
+                winners.add(partner)
+        winner_neighbors: Set[int] = set()
+        for winner in winners:
+            winner_neighbors |= self._adjacency[winner]
+        removal = candidate_set | {
+            vertex
+            for vertex in winner_neighbors
+            if vertex in self._hood_r1
+            and not agent.known_statuses.get(
+                vertex, VertexStatus.CANDIDATE
+            ).is_decided
+        }
+        losers = removal - winners
+        decisions: Dict[int, bool] = {vertex: True for vertex in winners}
+        decisions.update({vertex: False for vertex in losers})
+        message = StatusDetermination(
+            sender=self.vertex,
+            hop_limit=3 * self._r + 2,
+            decisions=decisions,
+            mini_round=mini_round,
+        )
+        self._transport.broadcast(message, phase="LB")
+        for vertex, is_winner in decisions.items():
+            status = VertexStatus.WINNER if is_winner else VertexStatus.LOSER
+            if vertex == self.vertex:
+                agent.mark(status)
+            agent.observe_status(vertex, status)
+        return message
+
+    # ------------------------------------------------------------------
+    # QR phase (mitigation only)
+    # ------------------------------------------------------------------
+    def flush_accusations(self, mini_round: int) -> int:
+        """Broadcast the queued accusations; returns how many were sent."""
+        state = self.quorum_state
+        if state is None or self._controller.is_crashed(self.vertex):
+            return 0
+        sent = 0
+        for accused, reason in state.pending_accusations:
+            self._transport.broadcast(
+                Accusation(
+                    sender=self.vertex,
+                    hop_limit=2 * self._r + 1,
+                    accused=accused,
+                    reason=reason,
+                    mini_round=mini_round,
+                ),
+                phase="QR",
+            )
+            sent += 1
+        state.pending_accusations.clear()
+        return sent
+
+    def end_mini_round(self) -> None:
+        """Advance silence counters over the still-undecided horizon.
+
+        Tracking *every* undecided, unexcluded (2r+1)-hop neighbour (not
+        just this vertex's current blockers) keeps the suspicion state
+        symmetric across honest vertices in a shared horizon — the property
+        that makes the ``not-leader`` evidence check sound on a lossless
+        transport.
+        """
+        state = self.quorum_state
+        if state is None or self._controller.is_crashed(self.vertex):
+            return
+        if self.agent.status.is_decided:
+            state.heard.clear()
+            return
+        agent = self.agent
+        tracked = {
+            u
+            for u in agent.neighborhood_2r1
+            if u != self.vertex
+            and not agent.known_statuses.get(u, VertexStatus.CANDIDATE).is_decided
+            and u not in state.excluded
+        }
+        state.end_mini_round(tracked)
+
+    # ------------------------------------------------------------------
+    # Delivery
+    # ------------------------------------------------------------------
+    def receive(self, message: Message) -> None:
+        if self._controller.is_crashed(self.vertex):
+            return  # dead vertices hear nothing
+        state = self.quorum_state
+        if state is None:
+            if isinstance(message, Accusation):
+                return  # only mitigating vertices act on accusations
+            super().receive(message)
+            return
+        sender = message.sender
+        if sender in state.excluded:
+            return
+        state.note_heard(sender)
+        if isinstance(message, Accusation):
+            state.register_accusation(sender, message.accused)
+            return
+        if isinstance(message, (WeightBroadcast, LeaderDeclaration)):
+            # An honest announcement repeats the primed truth bit for bit,
+            # so *any* mismatch against current knowledge is hard evidence.
+            known = self.agent.known_weights.get(sender)
+            if known is not None and float(message.weight) != known:
+                state.convict(sender, "weight-mismatch")
+                return
+            super().receive(message)
+            return
+        if isinstance(message, StatusDetermination):
+            evidence = self._determination_evidence(message, state)
+            if evidence is not None:
+                state.convict(sender, evidence)
+                return
+        super().receive(message)
+
+    def _determination_evidence(
+        self, message: StatusDetermination, state: QuorumState
+    ) -> Optional[str]:
+        """Evidence that an LB is corrupt, or ``None`` when it checks out.
+
+        Two checks, both sound on a lossless transport:
+
+        * ``dependent-winners`` — the LB crowns two adjacent Winners, which
+          no honest LMWIS can emit.
+        * ``not-leader`` — some vertex in the *shared* (2r+1)-hop horizon of
+          sender and receiver is still an unexcluded Candidate with a larger
+          election key than the sender, so the sender cannot honestly have
+          won the election.  Restricting to the shared horizon is what makes
+          the check safe: within it, two honest vertices provably hold the
+          same weight and decidedness knowledge at every phase barrier.
+        """
+        winners = [vertex for vertex, flag in message.decisions.items() if flag]
+        for winner in winners:
+            neighbors = self._controller.adjacency[winner]
+            for other in winners:
+                if other != winner and other in neighbors:
+                    return "dependent-winners"
+        agent = self.agent
+        sender = message.sender
+        sender_weight = agent.known_weights.get(sender)
+        if sender_weight is not None:
+            sender_key = (sender_weight, -sender)
+            shared = self._controller.hood_2r1[sender] & agent.neighborhood_2r1
+            for u in shared:
+                if u == sender or u == self.vertex or state.ignores(u):
+                    continue
+                if agent.known_statuses.get(u, VertexStatus.CANDIDATE).is_decided:
+                    continue
+                weight = agent.known_weights.get(u)
+                if weight is not None and (weight, -u) > sender_key:
+                    return "not-leader"
+        return None
+
+
+@dataclass
+class FaultReport:
+    """Fault metrics of one run (all counts are over the *final* output).
+
+    The final winner set is every vertex that ends with Winner status,
+    minus — in mitigation runs — the vertices a quorum of honest vertices
+    excluded (their claimed wins are void: the honest network polices their
+    channel access).  ``corrupted`` winners are Byzantine winners plus any
+    winner adjacent to another final winner (an independence violation that
+    made it into the output).
+    """
+
+    num_crashed: int = 0
+    num_byzantine: int = 0
+    fault_fraction: float = 0.0
+    claimed_winners: int = 0
+    final_winners: int = 0
+    quorum_rejected: int = 0
+    byzantine_winners: int = 0
+    conflicting_winners: int = 0
+    corrupted_winners: int = 0
+    corrupted_winner_rate: float = 0.0
+    honest_winner_weight: float = 0.0
+    undecided_honest: int = 0
+    suspected_crashed: int = 0
+    excluded_senders: int = 0
+    accusations_sent: int = 0
+    patience: int = 0
+    quorum_enabled: bool = False
+
+
+class FaultInjectionEngine:
+    """The fault-mode counterpart of :class:`ProtocolEngine`.
+
+    Same phase barriers and cost accounting, plus: a fault clock gating
+    crashed vertices, a QR (accusation) phase after every delivery barrier
+    in mitigation runs, honest-only convergence accounting, and no
+    lossless-independence assertion (a faulty run is *supposed* to be able
+    to violate it — the violation is data, recorded in the report).
+    """
+
+    def __init__(
+        self,
+        adjacency: Adjacency,
+        r: int,
+        hood_r: List[Set[int]],
+        hood_r1: List[Set[int]],
+        hood_2r1: List[Set[int]],
+        local_solver: Optional[MWISSolver] = None,
+        *,
+        plan: FaultPlan,
+        quorum: Optional[QuorumConfig] = None,
+    ) -> None:
+        self._adjacency = adjacency
+        self._num_vertices = len(adjacency)
+        self._r = r
+        self._hood_r = hood_r
+        self._hood_r1 = hood_r1
+        self._hood_2r1 = hood_2r1
+        self._local_solver = local_solver
+        if plan.max_vertex >= self._num_vertices:
+            raise ValueError(
+                f"fault plan names vertex {plan.max_vertex} but the graph "
+                f"only has {self._num_vertices} vertices"
+            )
+        self._plan = plan
+        if quorum is not None and quorum.patience <= 0:
+            quorum = QuorumConfig(
+                threshold=quorum.threshold,
+                eps=quorum.eps,
+                patience=termination_bound(
+                    self._num_vertices, plan.num_faults, quorum.eps
+                ),
+            )
+        self._quorum = quorum
+
+    def run(
+        self,
+        transport: Transport,
+        weights: Sequence[float],
+        hard_limit: Optional[int] = None,
+    ) -> Tuple[ProtocolResult, FaultReport]:
+        """Execute one faulty strategy decision over ``transport``."""
+        if transport.num_vertices != self._num_vertices:
+            raise ValueError(
+                f"transport connects {transport.num_vertices} vertices but the "
+                f"graph has {self._num_vertices}"
+            )
+        if hard_limit is None:
+            hard_limit = self._num_vertices
+            if self._quorum is not None:
+                # Suspicion needs `patience` silent rounds before the stuck
+                # part of the graph can resume; budget for both.
+                hard_limit += self._quorum.patience
+        controller = FaultController(
+            self._plan, self._adjacency, self._hood_2r1, quorum=self._quorum
+        )
+        vertices = [
+            FaultyVertexProtocol(
+                vertex,
+                transport,
+                self._r,
+                self._adjacency,
+                hood_r=self._hood_r[vertex],
+                hood_r1=self._hood_r1[vertex],
+                hood_2r1=self._hood_2r1[vertex],
+                local_solver=self._local_solver,
+                controller=controller,
+            )
+            for vertex in range(self._num_vertices)
+        ]
+        for vertex in vertices:
+            vertex.prime(
+                {
+                    neighbor: float(weights[neighbor])
+                    for neighbor in self._hood_2r1[vertex.vertex]
+                }
+            )
+
+        accusations_sent = 0
+
+        def deliver() -> None:
+            for vertex in vertices:
+                for message in transport.collect(vertex.vertex):
+                    vertex.receive(message)
+
+        def qr_phase(mini_round: int) -> None:
+            nonlocal accusations_sent
+            if self._quorum is None:
+                return
+            sent = sum(vertex.flush_accusations(mini_round) for vertex in vertices)
+            if sent:
+                accusations_sent += sent
+                deliver()
+
+        # WB phase (fault clock at round 0).
+        controller.clock = (0, _PHASE_WB)
+        for vertex in vertices:
+            vertex.announce_weight()
+        deliver()
+        # Evidence found at the WB barrier (inflated weights) spreads before
+        # the first election, so out-of-horizon vertices can already reject
+        # the liar's first LB.
+        qr_phase(0)
+
+        def is_alive_honest(vertex: FaultyVertexProtocol) -> bool:
+            return vertex.behavior is None and not controller.is_crashed(
+                vertex.vertex
+            )
+
+        records: List[MiniRoundRecord] = []
+        winners_claimed: Set[int] = set()
+        cumulative_weight = 0.0
+        computation = ComputationCosts()
+
+        for mini_round in range(1, hard_limit + 1):
+            if not any(
+                is_alive_honest(vertex) and vertex.status == VertexStatus.CANDIDATE
+                for vertex in vertices
+            ):
+                break
+            controller.clock = (mini_round, _PHASE_LD)
+            leaders = [
+                vertex.vertex
+                for vertex in vertices
+                if vertex.begin_mini_round(mini_round) is not None
+            ]
+            controller.clock = (mini_round, _PHASE_LB)
+            new_winners: Set[int] = set()
+            new_losers: Set[int] = set()
+            for leader in leaders:
+                determination = vertices[leader].determine_statuses(mini_round)
+                if determination is None:
+                    continue  # the leader crashed between LD and LB
+                computation.local_mwis_calls += 1
+                computation.candidate_set_sizes.append(
+                    vertices[leader].last_candidate_set_size
+                )
+                for vertex, is_winner in determination.decisions.items():
+                    (new_winners if is_winner else new_losers).add(vertex)
+            deliver()
+            qr_phase(mini_round)
+            for vertex in vertices:
+                vertex.end_mini_round()
+            winners_claimed |= new_winners
+            cumulative_weight += sum(float(weights[v]) for v in new_winners)
+            remaining = sum(
+                1 for vertex in vertices if vertex.status == VertexStatus.CANDIDATE
+            )
+            records.append(
+                MiniRoundRecord(
+                    index=mini_round,
+                    leaders=frozenset(leaders),
+                    new_winners=frozenset(new_winners),
+                    new_losers=frozenset(new_losers),
+                    cumulative_weight=cumulative_weight,
+                    remaining_candidates=remaining,
+                )
+            )
+            computation.mini_rounds = mini_round
+
+        # ------------------------------------------------------------------
+        # Final output and fault accounting
+        # ------------------------------------------------------------------
+        status_winners = {
+            vertex.vertex
+            for vertex in vertices
+            if vertex.status == VertexStatus.WINNER
+        }
+        threshold = self._quorum.threshold if self._quorum is not None else 0
+        quorum_rejected: Set[int] = set()
+        if self._quorum is not None:
+            votes: Dict[int, int] = {}
+            for vertex in vertices:
+                state = vertex.quorum_state
+                if state is None:
+                    continue
+                for accused in state.excluded:
+                    votes[accused] = votes.get(accused, 0) + 1
+            quorum_rejected = {
+                accused
+                for accused, count in votes.items()
+                if count >= threshold
+            }
+        final_winners = status_winners - quorum_rejected
+        byzantine_set = set(self._plan.byzantine)
+        byzantine_winners = final_winners & byzantine_set
+        conflicting: Set[int] = set()
+        for winner in final_winners:
+            if final_winners & self._adjacency[winner]:
+                conflicting.add(winner)
+        corrupted = byzantine_winners | conflicting
+        honest_weight = sum(
+            float(weights[v]) for v in final_winners - corrupted
+        )
+        undecided_honest = sum(
+            1
+            for vertex in vertices
+            if is_alive_honest(vertex) and not vertex.status.is_decided
+        )
+        excluded_union: Set[int] = set()
+        suspected_union: Set[int] = set()
+        for vertex in vertices:
+            state = vertex.quorum_state
+            if state is not None:
+                excluded_union |= state.excluded
+                suspected_union |= state.suspected
+
+        independent = is_independent(self._adjacency, final_winners)
+        converged = all(
+            vertex.status.is_decided
+            for vertex in vertices
+            if is_alive_honest(vertex)
+        )
+        phases = ("WB", "LD", "LB", "QR") if self._quorum else ("WB", "LD", "LB")
+        costs = RoundCosts(
+            communication=CommunicationCosts(
+                messages_per_vertex=transport.messages_sent(),
+                total_deliveries=transport.total_deliveries,
+                mini_timeslots_per_phase={
+                    phase: transport.mini_timeslots(phase) for phase in phases
+                },
+            ),
+            computation=computation,
+            stored_weights_per_vertex=[
+                len(vertex.agent.known_weights) for vertex in vertices
+            ],
+        )
+        result = ProtocolResult(
+            independent_set=IndependentSet.from_iterable(final_winners, weights),
+            mini_rounds=records,
+            costs=costs,
+            converged=converged,
+            independent=independent,
+        )
+        report = FaultReport(
+            num_crashed=len(self._plan.crashes),
+            num_byzantine=len(byzantine_set),
+            fault_fraction=self._plan.num_faults / max(1, self._num_vertices),
+            claimed_winners=len(status_winners),
+            final_winners=len(final_winners),
+            quorum_rejected=len(quorum_rejected),
+            byzantine_winners=len(byzantine_winners),
+            conflicting_winners=len(conflicting),
+            corrupted_winners=len(corrupted),
+            corrupted_winner_rate=len(corrupted) / max(1, len(final_winners)),
+            honest_winner_weight=honest_weight,
+            undecided_honest=undecided_honest,
+            suspected_crashed=len(suspected_union),
+            excluded_senders=len(excluded_union),
+            accusations_sent=accusations_sent,
+            patience=self._quorum.patience if self._quorum is not None else 0,
+            quorum_enabled=self._quorum is not None,
+        )
+        return result, report

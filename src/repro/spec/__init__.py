@@ -39,6 +39,7 @@ from repro.spec.runner import (
 from repro.spec.scenario import (
     ChannelSpec,
     DynamicsSpec,
+    FaultSpec,
     PolicySpec,
     ReplicationSpec,
     ScenarioSpec,
@@ -56,6 +57,7 @@ __all__ = [
     "ScheduleSpec",
     "DynamicsSpec",
     "TransportSpec",
+    "FaultSpec",
     "ReplicationSpec",
     "ScenarioSpec",
     "ScenarioRegistry",

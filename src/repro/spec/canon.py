@@ -91,6 +91,7 @@ def canonical_spec(
 _EXTENSION_DEFAULTS = (
     ((None, "dynamics"), None),
     ((None, "transport"), TransportSpec().to_dict()),
+    ((None, "faults"), None),
     (("channels", "ge_bad_fraction"), 0.25),
     (("channels", "ge_p_good_to_bad"), 0.1),
     (("channels", "ge_p_bad_to_good"), 0.3),

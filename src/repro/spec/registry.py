@@ -20,6 +20,7 @@ from typing import Dict, List, Optional
 from repro.spec.scenario import (
     ChannelSpec,
     DynamicsSpec,
+    FaultSpec,
     PolicySpec,
     ReplicationSpec,
     ScenarioSpec,
@@ -251,6 +252,40 @@ def _mobility_spec(
     )
 
 
+def _faults_spec(
+    name: str,
+    *,
+    num_nodes: int,
+    num_channels: int,
+    r: int,
+    max_mini_rounds: int,
+    crash: float,
+    byzantine: float,
+    quorum: bool,
+    scale: str,
+) -> ScenarioSpec:
+    return ScenarioSpec(
+        name=name,
+        description=(
+            f"Crash-stop + Byzantine fault injection in the strategy "
+            f"decision ({scale} scale)"
+        ),
+        seed=2014,
+        topology=TopologySpec(
+            kind="random",
+            num_nodes=num_nodes,
+            num_channels=num_channels,
+            average_degree=6.0,
+        ),
+        channels=ChannelSpec(),
+        policies=(PolicySpec(kind="algorithm2", r=r),),
+        schedule=ScheduleSpec(mode="protocol", max_mini_rounds=max_mini_rounds),
+        faults=FaultSpec(
+            crash=crash, byzantine=byzantine, behavior="mixed", quorum=quorum
+        ),
+    )
+
+
 def _builtin_scenarios() -> List[ScenarioSpec]:
     return [
         _fig6_spec(
@@ -331,6 +366,28 @@ def _builtin_scenarios() -> List[ScenarioSpec]:
             rate=0.02,
             r=2,
             compute_optimal=False,
+            scale="paper",
+        ),
+        _faults_spec(
+            "faults-quick",
+            num_nodes=20,
+            num_channels=3,
+            r=1,
+            max_mini_rounds=8,
+            crash=0.1,
+            byzantine=0.1,
+            quorum=False,
+            scale="quick",
+        ),
+        _faults_spec(
+            "faults-paper",
+            num_nodes=50,
+            num_channels=5,
+            r=2,
+            max_mini_rounds=12,
+            crash=0.1,
+            byzantine=0.1,
+            quorum=True,
             scale="paper",
         ),
         _mobility_spec(

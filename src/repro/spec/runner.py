@@ -633,6 +633,36 @@ def _pad_trajectory(values: List[float], length: int) -> List[float]:
     return padded
 
 
+def _protocol_neighborhoods(adjacency, r: int):
+    """Per-vertex neighbourhood tables for every radius the protocol uses."""
+    radii = (r, r + 1, 2 * r + 1, 3 * r + 2)
+    return {
+        hops: [
+            r_hop_neighborhood(adjacency, vertex, hops)
+            for vertex in range(len(adjacency))
+        ]
+        for hops in radii
+    }
+
+
+def _transport_telemetry(spec: ScenarioSpec, transport) -> Dict[str, float]:
+    """Delivery telemetry of one protocol cell, or ``{}``.
+
+    Telemetry fields surface only when the transport actually has lossy
+    knobs enabled (drops, latency or reordering); a lossless transport's
+    records stay byte-identical to the simulated oracle's, which is what
+    the transport-equivalence contract (and its tests) lock down.
+    """
+    lossy = spec.transport.kind == "asyncio" and (
+        spec.transport.drop > 0.0
+        or spec.transport.latency != "none"
+        or spec.transport.reorder
+    )
+    if not lossy or not hasattr(transport, "telemetry_summary"):
+        return {}
+    return dict(transport.telemetry_summary())
+
+
 def _run_protocol(spec: ScenarioSpec) -> ExperimentResult:
     """Fig. 6 / Section IV-C regime: run Algorithm 3 once per network cell."""
     decision = spec.policies[0]
@@ -644,7 +674,9 @@ def _run_protocol(spec: ScenarioSpec) -> ExperimentResult:
     cells = spec.network_sweep or (
         (spec.topology.num_nodes, spec.topology.num_channels),
     )
+    faults_active = spec.faults is not None and spec.faults.is_active
     protocol_runs = {}
+    fault_reports = {}
     for num_nodes, num_channels in cells:
         label = f"{num_nodes}x{num_channels}"
         graph = spec.topology.with_size(num_nodes, num_channels).build(rng)
@@ -656,7 +688,15 @@ def _run_protocol(spec: ScenarioSpec) -> ExperimentResult:
             if decision.use_greedy_local_solver(extended.num_vertices)
             else None
         )
-        if spec.transport.kind == "simulated":
+        telemetry: Dict[str, float] = {}
+        fault_record: Dict[str, float] = {}
+        if faults_active:
+            run, fault_record, telemetry = _run_faulty_cell(
+                spec, decision, adjacency, weights, local_solver,
+                cell=(num_nodes, num_channels),
+            )
+            fault_reports[label] = fault_record
+        elif spec.transport.kind == "simulated":
             protocol = DistributedRobustPTAS(
                 adjacency, r=decision.r, local_solver=local_solver
             )
@@ -664,19 +704,7 @@ def _run_protocol(spec: ScenarioSpec) -> ExperimentResult:
         else:
             # Non-simulated transports share the protocol's neighbourhood
             # tables so k-hop routing is computed once per cell.
-            radii = (
-                decision.r,
-                decision.r + 1,
-                2 * decision.r + 1,
-                3 * decision.r + 2,
-            )
-            hoods = {
-                hops: [
-                    r_hop_neighborhood(adjacency, vertex, hops)
-                    for vertex in range(len(adjacency))
-                ]
-                for hops in radii
-            }
+            hoods = _protocol_neighborhoods(adjacency, decision.r)
             transport = spec.transport.build(
                 adjacency, run_seed=spec.seed, precomputed_neighborhoods=hoods
             )
@@ -689,6 +717,7 @@ def _run_protocol(spec: ScenarioSpec) -> ExperimentResult:
                     transport=transport,
                 )
                 run = protocol.run(weights)
+                telemetry = _transport_telemetry(spec, transport)
             finally:
                 transport.close()
         protocol_runs[label] = run
@@ -737,8 +766,89 @@ def _run_protocol(spec: ScenarioSpec) -> ExperimentResult:
             "winner_weight": float(run.independent_set.weight),
             "convergence_round": float(convergence_round),
         }
+        result.records[label].update(fault_record)
+        result.records[label].update(telemetry)
     result.artifacts["protocol_runs"] = protocol_runs
+    if fault_reports:
+        result.artifacts["fault_reports"] = fault_reports
     return result
+
+
+def _run_faulty_cell(
+    spec: ScenarioSpec,
+    decision,
+    adjacency,
+    weights,
+    local_solver,
+    *,
+    cell,
+):
+    """One protocol cell under fault injection.
+
+    Returns ``(run, fault_record, telemetry)`` where ``fault_record`` holds
+    the per-cell fault metrics: the report counters, the fault-free baseline
+    weight on the same environment, the regret the faults inflicted on it
+    and the re-convergence cost (extra mini-rounds over the honest run).
+    """
+    from repro.faults.runtime import FaultInjectionEngine
+
+    hoods = _protocol_neighborhoods(adjacency, decision.r)
+    plan = spec.faults.build_plan(
+        len(adjacency), run_seed=spec.seed, cell=cell
+    )
+    engine = FaultInjectionEngine(
+        adjacency,
+        decision.r,
+        hoods[decision.r],
+        hoods[decision.r + 1],
+        hoods[2 * decision.r + 1],
+        local_solver,
+        plan=plan,
+        quorum=spec.faults.build_quorum(),
+    )
+    transport = spec.transport.build(
+        adjacency, run_seed=spec.seed, precomputed_neighborhoods=hoods
+    )
+    try:
+        run, report = engine.run(transport, weights)
+        telemetry = _transport_telemetry(spec, transport)
+    finally:
+        transport.close()
+    # The fault-free baseline on the exact same environment: regret is how
+    # much honest winner weight the faults cost, re-convergence cost is the
+    # extra mini-rounds the faulty run needed over the honest decision.
+    baseline = DistributedRobustPTAS(
+        adjacency,
+        r=decision.r,
+        local_solver=local_solver,
+        precomputed_neighborhoods=hoods,
+    ).run(weights)
+    baseline_weight = float(baseline.independent_set.weight)
+    fault_record = {
+        "fault_fraction": float(report.fault_fraction),
+        "num_crashed": float(report.num_crashed),
+        "num_byzantine": float(report.num_byzantine),
+        "claimed_winners": float(report.claimed_winners),
+        "final_winners": float(report.final_winners),
+        "quorum_rejected": float(report.quorum_rejected),
+        "byzantine_winners": float(report.byzantine_winners),
+        "conflicting_winners": float(report.conflicting_winners),
+        "corrupted_winners": float(report.corrupted_winners),
+        "corrupted_winner_rate": float(report.corrupted_winner_rate),
+        "honest_winner_weight": float(report.honest_winner_weight),
+        "undecided_honest": float(report.undecided_honest),
+        "suspected_crashed": float(report.suspected_crashed),
+        "excluded_senders": float(report.excluded_senders),
+        "accusations_sent": float(report.accusations_sent),
+        "quorum_patience": float(report.patience),
+        "quorum_enabled": float(report.quorum_enabled),
+        "baseline_winner_weight": baseline_weight,
+        "fault_regret": baseline_weight - float(report.honest_winner_weight),
+        "reconvergence_cost": float(
+            run.num_mini_rounds - baseline.num_mini_rounds
+        ),
+    }
+    return run, fault_record, telemetry
 
 
 # ----------------------------------------------------------------------

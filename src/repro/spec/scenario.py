@@ -17,6 +17,8 @@ The tree::
     ├── PolicySpec        one per learning policy under test (a tuple)
     ├── ScheduleSpec      per-round | periodic | protocol
     ├── DynamicsSpec      optional topology dynamics (churn / flap / mobility)
+    ├── TransportSpec     which message transport carries the protocol
+    ├── FaultSpec         optional crash-stop / Byzantine fault injection
     └── ReplicationSpec   how many seed-streamed replications, how many jobs
 
 Running a spec is :func:`repro.spec.runner.run_scenario`; naming and sharing
@@ -50,6 +52,7 @@ __all__ = [
     "ScheduleSpec",
     "DynamicsSpec",
     "TransportSpec",
+    "FaultSpec",
     "ReplicationSpec",
     "ScenarioSpec",
 ]
@@ -1161,6 +1164,211 @@ class TransportSpec:
 
 
 # ----------------------------------------------------------------------
+# FaultSpec
+# ----------------------------------------------------------------------
+#: Byzantine behaviors selectable in a spec.  The concrete behaviors live in
+#: :data:`repro.faults.plan.BYZANTINE_BEHAVIORS`; ``mixed`` assigns them
+#: round-robin over the Byzantine vertices.
+FAULT_BEHAVIORS = (
+    "weight-inflation",
+    "winner-usurpation",
+    "conflicting-decisions",
+    "mixed",
+)
+
+#: Domain-separation tag of the fault-plan stream, mixed with the scenario
+#: seed (and the sweep cell) so fault draws never collide with the topology,
+#: channel, dynamics or transport streams rooted at the same seed.
+_FAULTS_STREAM_TAG = 0xFA17
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Node faults injected into the distributed strategy decision.
+
+    ``crash`` and ``byzantine`` are vertex fractions of the extended
+    conflict graph (rounded to counts per sweep cell, at least one vertex
+    when positive).  Crash-stop vertices go silent at a seeded phase
+    boundary within mini-rounds ``0..max_crash_round``; Byzantine vertices
+    follow ``behavior``.  With ``quorum=True`` the honest vertices run the
+    evidence-checking mitigation: claims are cross-validated, inconsistent
+    senders are excluded once ``quorum_threshold`` distinct accusers agree,
+    and silent blockers are suspected crashed after the Algorithm-Two
+    termination bound with slack ``eps``.
+
+    A spec with both fractions zero describes the honest protocol: the
+    runner then takes the exact honest code path, so ``f=0`` envelopes are
+    bit-identical to runs without a ``faults`` node.
+    """
+
+    #: Fraction of vertices that crash-stop mid-protocol.
+    crash: float = 0.0
+    #: Fraction of vertices that lie (disjoint from the crashed set).
+    byzantine: float = 0.0
+    #: Byzantine strategy (byzantine > 0 only).
+    behavior: str = "mixed"
+    #: Latest mini-round a crash can be scheduled at (crash > 0 only).
+    max_crash_round: int = 3
+    #: Enable the quorum/evidence-checking mitigation in honest vertices.
+    quorum: bool = False
+    #: Distinct accusers needed for remote exclusion (quorum only).
+    quorum_threshold: int = 2
+    #: Approximation slack of the termination bound (quorum only).
+    eps: float = 0.05
+    #: Extra seed of the fault-plan stream, mixed with the scenario seed.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    @property
+    def is_active(self) -> bool:
+        """Whether any vertex is actually faulty (``f > 0``)."""
+        return self.crash > 0.0 or self.byzantine > 0.0
+
+    def validate(self, path: str = "faults") -> None:
+        """Raise :class:`SpecError` when the fault spec is ill-formed."""
+        for name in ("crash", "byzantine"):
+            value = getattr(self, name)
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise SpecError(f"{path}.{name}: expected a number, got {value!r}")
+            if not (0.0 <= value < 1.0):
+                raise SpecError(f"{path}.{name}: must be in [0, 1), got {value}")
+        if self.crash + self.byzantine > 0.5:
+            raise SpecError(
+                f"{path}: crash + byzantine must be <= 0.5 (the termination "
+                f"bound needs an honest majority), got "
+                f"{self.crash} + {self.byzantine}"
+            )
+        if self.behavior not in FAULT_BEHAVIORS:
+            raise SpecError(
+                f"{path}.behavior: unknown behavior {self.behavior!r}; "
+                f"choose one of {sorted(FAULT_BEHAVIORS)}"
+            )
+        if self.byzantine == 0.0 and self.behavior != "mixed":
+            raise SpecError(
+                f"{path}.behavior: only meaningful with byzantine > 0 "
+                f"(got byzantine={self.byzantine})"
+            )
+        if isinstance(self.max_crash_round, bool) or not isinstance(
+            self.max_crash_round, int
+        ):
+            raise SpecError(
+                f"{path}.max_crash_round: expected an integer, "
+                f"got {self.max_crash_round!r}"
+            )
+        if self.max_crash_round < 0:
+            raise SpecError(
+                f"{path}.max_crash_round: must be >= 0, got {self.max_crash_round}"
+            )
+        if self.crash == 0.0 and self.max_crash_round != 3:
+            raise SpecError(
+                f"{path}.max_crash_round: only meaningful with crash > 0 "
+                f"(got crash={self.crash})"
+            )
+        if not isinstance(self.quorum, bool):
+            raise SpecError(
+                f"{path}.quorum: expected true/false, got {self.quorum!r}"
+            )
+        if isinstance(self.quorum_threshold, bool) or not isinstance(
+            self.quorum_threshold, int
+        ):
+            raise SpecError(
+                f"{path}.quorum_threshold: expected an integer, "
+                f"got {self.quorum_threshold!r}"
+            )
+        if self.quorum_threshold < 1:
+            raise SpecError(
+                f"{path}.quorum_threshold: must be >= 1, "
+                f"got {self.quorum_threshold}"
+            )
+        if isinstance(self.eps, bool) or not isinstance(self.eps, (int, float)):
+            raise SpecError(f"{path}.eps: expected a number, got {self.eps!r}")
+        if not (0.0 < self.eps < 1.0):
+            raise SpecError(f"{path}.eps: must be in (0, 1), got {self.eps}")
+        if not self.quorum:
+            if self.quorum_threshold != 2:
+                raise SpecError(
+                    f"{path}.quorum_threshold: only meaningful with quorum=true"
+                )
+            if self.eps != 0.05:
+                raise SpecError(f"{path}.eps: only meaningful with quorum=true")
+        if isinstance(self.seed, bool) or not isinstance(self.seed, int):
+            raise SpecError(f"{path}.seed: expected an integer, got {self.seed!r}")
+        if self.seed < 0:
+            raise SpecError(f"{path}.seed: must be non-negative, got {self.seed}")
+
+    def build_plan(
+        self, num_vertices: int, *, run_seed: int, cell: Tuple[int, int]
+    ):
+        """The seeded :class:`~repro.faults.plan.FaultPlan` of one sweep cell.
+
+        The plan stream is rooted at ``(scenario seed, faults tag,
+        faults.seed, num_nodes, num_channels)``: independent of every other
+        stream, stable across transports, distinct per sweep cell.
+        """
+        from repro.faults.plan import generate_fault_plan
+
+        rng = np.random.default_rng(
+            [run_seed, _FAULTS_STREAM_TAG, self.seed, cell[0], cell[1]]
+        )
+        return generate_fault_plan(
+            num_vertices,
+            crash_fraction=self.crash,
+            byzantine_fraction=self.byzantine,
+            behavior=self.behavior,
+            max_crash_round=self.max_crash_round,
+            rng=rng,
+        )
+
+    def build_quorum(self):
+        """The :class:`~repro.faults.quorum.QuorumConfig`, or ``None``."""
+        from repro.faults.quorum import QuorumConfig
+
+        if not self.quorum:
+            return None
+        return QuorumConfig(threshold=self.quorum_threshold, eps=self.eps)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation (inverse of :meth:`from_dict`)."""
+        return {
+            "crash": self.crash,
+            "byzantine": self.byzantine,
+            "behavior": self.behavior,
+            "max_crash_round": self.max_crash_round,
+            "quorum": self.quorum,
+            "quorum_threshold": self.quorum_threshold,
+            "eps": self.eps,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data, path: str = "faults") -> "FaultSpec":
+        """Deserialize, raising :class:`SpecError` with the offending path."""
+        data = _require_mapping(data, path)
+        _check_keys(data, cls, path)
+        kwargs: Dict[str, object] = {}
+        for name in ("crash", "byzantine", "eps"):
+            if name in data:
+                kwargs[name] = _as_float(data[name], f"{path}.{name}")
+        if "behavior" in data:
+            kwargs["behavior"] = _choice(
+                data["behavior"], FAULT_BEHAVIORS, f"{path}.behavior"
+            )
+        for name in ("max_crash_round", "quorum_threshold", "seed"):
+            if name in data:
+                kwargs[name] = _as_int(data[name], f"{path}.{name}")
+        if "quorum" in data:
+            kwargs["quorum"] = _as_bool(data["quorum"], f"{path}.quorum")
+        try:
+            return cls(**kwargs)
+        except SpecError as err:
+            # Re-prefix validation errors (all start with "faults." or
+            # "faults:") with the caller's path.
+            raise SpecError(str(err).replace("faults", path, 1)) from None
+
+
+# ----------------------------------------------------------------------
 # ScenarioSpec
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
@@ -1191,6 +1399,9 @@ class ScenarioSpec:
     #: for non-simulated kinds).  Never ``None`` so ``--set transport.kind``
     #: overrides always have a node to land on.
     transport: TransportSpec = field(default_factory=TransportSpec)
+    #: Crash-stop / Byzantine faults in the strategy decision (protocol
+    #: mode only).  ``None`` and ``f=0`` both mean the honest protocol.
+    faults: Optional[FaultSpec] = None
     replication: ReplicationSpec = field(default_factory=ReplicationSpec)
     network_sweep: Tuple[Tuple[int, int], ...] = ()
     #: Approximation ratio assumed by the beta-regret benchmark (Fig. 7b).
@@ -1306,6 +1517,14 @@ class ScenarioSpec:
                     f"geometric topology ({sorted(GEOMETRIC_TOPOLOGY_KINDS)}), "
                     f"got topology.kind={self.topology.kind!r}"
                 )
+        if self.faults is not None:
+            self.faults.validate(f"{path}.faults")
+            if self.schedule.mode != "protocol":
+                raise SpecError(
+                    f"{path}.faults: fault injection targets the distributed "
+                    f"strategy decision and needs schedule.mode='protocol' "
+                    f"(got {self.schedule.mode!r})"
+                )
 
     # ------------------------------------------------------------------
     # Serialization
@@ -1322,6 +1541,7 @@ class ScenarioSpec:
             "schedule": self.schedule.to_dict(),
             "dynamics": self.dynamics.to_dict() if self.dynamics is not None else None,
             "transport": self.transport.to_dict(),
+            "faults": self.faults.to_dict() if self.faults is not None else None,
             "replication": self.replication.to_dict(),
             "network_sweep": [list(cell) for cell in self.network_sweep],
             "alpha": self.alpha,
@@ -1370,6 +1590,8 @@ class ScenarioSpec:
             kwargs["transport"] = TransportSpec.from_dict(
                 data["transport"], f"{path}.transport"
             )
+        if data.get("faults") is not None:
+            kwargs["faults"] = FaultSpec.from_dict(data["faults"], f"{path}.faults")
         if "replication" in data:
             kwargs["replication"] = ReplicationSpec.from_dict(
                 data["replication"], f"{path}.replication"

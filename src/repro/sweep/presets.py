@@ -65,9 +65,26 @@ def _churn_plan() -> SweepPlan:
     )
 
 
+def _byzantine_plan() -> SweepPlan:
+    # Crosses the Byzantine fraction with the mitigation switch on the
+    # faults-quick environment: one seeded protocol run per cell, so the
+    # corrupted-winner and regret curves vs `f` — and the quorum's effect on
+    # them at identical seeds — come out of a single resumable sweep.
+    return SweepPlan.from_grid(
+        "byzantine-sweep",
+        get_scenario("faults-quick"),
+        {
+            "faults.byzantine": [0.0, 0.1, 0.2, 0.3],
+            "faults.quorum": [False, True],
+        },
+        description="Corrupted winners and regret vs. Byzantine fraction, "
+        "with and without quorum checking",
+    )
+
+
 def builtin_plans() -> Dict[str, SweepPlan]:
     """The named sweep plans shipped with the package (rebuilt per call)."""
-    plans = [_fig6_plan(), _fig7_plan(), _fig8_plan(), _churn_plan()]
+    plans = [_fig6_plan(), _fig7_plan(), _fig8_plan(), _churn_plan(), _byzantine_plan()]
     return {plan.name: plan for plan in plans}
 
 

@@ -125,6 +125,42 @@ class TestLossyRuns:
         finally:
             transport.close()
 
+    def test_telemetry_summary_counts_the_trace(self):
+        adjacency, weights = unit_disk_instance(2)
+        transport = self.lossy_transport(adjacency, seed=3, drop=0.4)
+        try:
+            DistributedRobustPTAS(adjacency, r=1, transport=transport).run(weights)
+            summary = transport.telemetry_summary()
+            assert summary["net_deliveries"] == float(len(transport.delivery_trace))
+            assert summary["net_dropped"] == float(transport.total_dropped)
+            assert summary["net_dropped"] > 0
+            assert summary["net_latency_mean"] == 0.0  # latency='none'
+            per_type = {
+                key: value
+                for key, value in summary.items()
+                if key.startswith("net_delivered_")
+            }
+            assert sum(per_type.values()) == summary["net_deliveries"]
+        finally:
+            transport.close()
+
+    def test_telemetry_tracks_latency_and_reset_clears_it(self):
+        adjacency, weights = unit_disk_instance(1)
+        transport = AsyncioTransport(
+            adjacency, latency="uniform", latency_scale=2.0, seed=7
+        )
+        try:
+            DistributedRobustPTAS(adjacency, r=1, transport=transport).run(weights)
+            summary = transport.telemetry_summary()
+            assert summary["net_latency_mean"] > 0.0
+            assert summary["net_latency_max"] >= summary["net_latency_mean"]
+            transport.reset()
+            cleared = transport.telemetry_summary()
+            assert cleared["net_deliveries"] == 0.0
+            assert cleared["net_latency_max"] == 0.0
+        finally:
+            transport.close()
+
     def test_lossless_transport_flags(self):
         adjacency, _ = unit_disk_instance(0)
         lossless = AsyncioTransport(adjacency)

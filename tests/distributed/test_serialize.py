@@ -8,6 +8,7 @@ import pytest
 
 from repro.distributed import (
     WIRE_SCHEMA,
+    Accusation,
     LeaderDeclaration,
     StatusDetermination,
     WeightBroadcast,
@@ -28,6 +29,8 @@ EXAMPLES = [
         sender=4, hop_limit=8, decisions={2: True, 9: False}, mini_round=1
     ),
     StatusDetermination(sender=1, hop_limit=2, decisions={}, mini_round=0),
+    Accusation(sender=6, hop_limit=3, accused=2, reason="weight-mismatch", mini_round=4),
+    Accusation(sender=0, hop_limit=1, accused=9, reason="", mini_round=0),
 ]
 
 

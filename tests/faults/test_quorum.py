@@ -1,0 +1,88 @@
+"""Quorum ledger and the Algorithm-Two termination bound (repro.faults.quorum)."""
+
+import pytest
+
+from repro.faults import QuorumConfig, QuorumState, termination_bound
+
+
+class TestTerminationBound:
+    def test_trivial_graphs_terminate_immediately(self):
+        assert termination_bound(0, 0) == 1
+        assert termination_bound(1, 0) == 1
+
+    def test_positive_and_finite(self):
+        assert 1 <= termination_bound(60, 12) < 1000
+
+    def test_more_faults_need_more_patience(self):
+        n = 100
+        bounds = [termination_bound(n, f) for f in (0, 10, 30, 49)]
+        assert bounds == sorted(bounds)
+        assert bounds[-1] > bounds[0]
+
+    def test_tighter_eps_needs_more_patience(self):
+        assert termination_bound(50, 10, eps=0.001) > termination_bound(
+            50, 10, eps=0.2
+        )
+
+    def test_fault_count_clamped_to_honest_majority(self):
+        # f beyond (n-1)/2 would push the convergence ratio to 1; the bound
+        # clamps instead of diverging.
+        assert termination_bound(10, 9) == termination_bound(10, 4)
+
+    def test_eps_validated(self):
+        with pytest.raises(ValueError, match="eps"):
+            termination_bound(10, 2, eps=0.0)
+        with pytest.raises(ValueError, match="eps"):
+            termination_bound(10, 2, eps=1.0)
+
+
+class TestQuorumState:
+    def make_state(self, threshold=2, patience=3):
+        return QuorumState(config=QuorumConfig(threshold=threshold, patience=patience))
+
+    def test_convict_excludes_and_queues_once(self):
+        state = self.make_state()
+        state.convict(4, "weight-mismatch")
+        state.convict(4, "weight-mismatch")
+        assert state.ignores(4)
+        assert state.pending_accusations == [(4, "weight-mismatch")]
+
+    def test_accusation_quorum_threshold(self):
+        state = self.make_state(threshold=2)
+        state.register_accusation(accuser=1, accused=9)
+        assert not state.ignores(9)
+        state.register_accusation(accuser=1, accused=9)  # same accuser: no quorum
+        assert not state.ignores(9)
+        state.register_accusation(accuser=2, accused=9)
+        assert state.ignores(9)
+
+    def test_excluded_accuser_cannot_vote(self):
+        state = self.make_state(threshold=2)
+        state.convict(1, "weight-mismatch")
+        state.register_accusation(accuser=1, accused=9)
+        state.register_accusation(accuser=2, accused=9)
+        assert not state.ignores(9)  # only one valid vote so far
+
+    def test_silence_suspects_after_patience(self):
+        state = self.make_state(patience=2)
+        state.end_mini_round({5})
+        assert not state.ignores(5)
+        state.end_mini_round({5})
+        assert state.ignores(5)
+        assert 5 in state.suspected
+
+    def test_hearing_clears_suspicion(self):
+        state = self.make_state(patience=1)
+        state.end_mini_round({5})
+        assert 5 in state.suspected
+        state.note_heard(5)
+        assert 5 not in state.suspected
+        assert not state.ignores(5)
+
+    def test_speaking_resets_the_silence_counter(self):
+        state = self.make_state(patience=2)
+        state.end_mini_round({5})
+        state.note_heard(5)
+        state.end_mini_round({5})  # heard this round: counter resets
+        state.end_mini_round({5})
+        assert 5 not in state.suspected  # only one silent round since reset

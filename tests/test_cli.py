@@ -82,6 +82,37 @@ class TestScenarioCommands:
         for name in ("fig6-paper", "fig7-quick", "fig8-quick", "complexity-paper"):
             assert name in output
 
+    def test_list_mode_filters_to_protocol_presets(self, capsys):
+        assert main(["list", "--mode", "protocol"]) == 0
+        output = capsys.readouterr().out
+        assert "fig6-paper" in output
+        assert "faults-quick" in output
+        assert "fig7-quick" not in output
+        assert "churn-quick" not in output
+
+    def test_list_mode_dynamic_selects_dynamics_presets(self, capsys):
+        assert main(["list", "--mode", "dynamic"]) == 0
+        output = capsys.readouterr().out
+        assert "churn-quick" in output
+        assert "mobility-quick" in output
+        assert "fig7-quick" not in output
+
+    def test_list_mode_per_round_excludes_dynamics_presets(self, capsys):
+        assert main(["list", "--mode", "per-round"]) == 0
+        output = capsys.readouterr().out
+        assert "fig7-quick" in output
+        assert "churn-quick" not in output
+
+    def test_list_shows_which_presets_accept_overrides(self, capsys):
+        assert main(["list", "--mode", "protocol"]) == 0
+        output = capsys.readouterr().out
+        # Protocol rows advertise the faults/transport override nodes.
+        assert "faults,transport" in output
+
+    def test_list_rejects_unknown_mode(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["list", "--mode", "sideways"])
+
     def test_show_prints_valid_spec_json(self, capsys):
         assert main(["show", "fig7-quick"]) == 0
         payload = json.loads(capsys.readouterr().out)
