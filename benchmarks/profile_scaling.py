@@ -1,0 +1,183 @@
+"""cProfile harness for the large-``n`` structural path.
+
+Profiles every stage of the scale pipeline on one deployment drawn exactly
+like :func:`repro.graph.topology.random_network` does, and prints per-stage
+wall clocks plus the top cumulative functions, so "what dominates at
+``n = 10^5``?" is a command, not a guess::
+
+    python benchmarks/profile_scaling.py --nodes 100000 --channels 5 --r 1
+    python benchmarks/profile_scaling.py --nodes 10000 --top 15 --profile
+
+Stages:
+
+``unit_disk``      cell-bucket edge construction (`unit_disk_edge_array`)
+``conflict_graph`` CSR ``ConflictGraph`` construction from the edge array
+``extended``       vectorised CSR build of the extended graph ``H``
+``neighborhoods``  frontier-BFS ``J_r(v)`` for every vertex of ``G``
+``local_mwis``     exact branch-and-bound MWIS on sampled r-hop balls of
+                   ``H`` (the Algorithm 3 LocalLeader inner loop)
+
+The ``local_mwis`` stage is what decides the Numba/Cython question for
+:mod:`repro.mwis.exact` — see the "MWIS fast path: measured decision"
+section of ``docs/scaling.md`` for the recorded numbers and the verdict.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import io
+import pstats
+import time
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.graph.conflict_graph import ConflictGraph
+from repro.graph.extended import ExtendedConflictGraph
+from repro.graph.neighborhoods import r_hop_neighborhood, r_hop_neighborhood_arrays
+from repro.graph.topology import area_side_for_average_degree
+from repro.graph.unit_disk import DEFAULT_CONFLICT_RADIUS, unit_disk_edge_array
+from repro.mwis.local import solve_local_mwis
+
+
+def _run_stage(
+    name: str,
+    fn: Callable[[], object],
+    *,
+    profile: bool,
+    top: int,
+) -> Dict[str, object]:
+    started = time.perf_counter()
+    if profile:
+        profiler = cProfile.Profile()
+        result = profiler.runcall(fn)
+    else:
+        result = fn()
+    elapsed = time.perf_counter() - started
+    print(f"[{name:<14}] {elapsed * 1e3:10.1f} ms")
+    if profile:
+        stream = io.StringIO()
+        stats = pstats.Stats(profiler, stream=stream)
+        stats.sort_stats("cumulative").print_stats(top)
+        body = "\n".join(
+            line
+            for line in stream.getvalue().splitlines()
+            if line.strip() and "function calls" not in line
+        )
+        print(body)
+        print()
+    return {"stage": name, "seconds": elapsed, "result": result}
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--nodes", type=int, default=10_000)
+    parser.add_argument("--channels", type=int, default=5)
+    parser.add_argument("--average-degree", type=float, default=6.0)
+    parser.add_argument("--r", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=2014)
+    parser.add_argument(
+        "--mwis-samples",
+        type=int,
+        default=200,
+        help="number of r-hop balls of H to solve exactly (0 disables)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="attach cProfile to every stage (off: wall clocks only)",
+    )
+    parser.add_argument("--top", type=int, default=10, help="profile lines per stage")
+    args = parser.parse_args(argv)
+
+    rng = np.random.default_rng(args.seed)
+    side = area_side_for_average_degree(args.nodes, args.average_degree)
+    coords = rng.uniform(0.0, side, size=(args.nodes, 2))
+    print(
+        f"deployment: n={args.nodes} M={args.channels} "
+        f"target_degree={args.average_degree} r={args.r} seed={args.seed}"
+    )
+
+    stages: List[Dict[str, object]] = []
+    edges = unit_disk_edge_array(coords, DEFAULT_CONFLICT_RADIUS)
+    stages.append(
+        _run_stage(
+            "unit_disk",
+            lambda: unit_disk_edge_array(coords, DEFAULT_CONFLICT_RADIUS),
+            profile=args.profile,
+            top=args.top,
+        )
+    )
+    graph = ConflictGraph(args.nodes, edges, args.channels)
+    stages.append(
+        _run_stage(
+            "conflict_graph",
+            lambda: ConflictGraph(args.nodes, edges, args.channels),
+            profile=args.profile,
+            top=args.top,
+        )
+    )
+    extended = ExtendedConflictGraph(graph)
+    stages.append(
+        _run_stage(
+            "extended",
+            lambda: ExtendedConflictGraph(graph),
+            profile=args.profile,
+            top=args.top,
+        )
+    )
+    stages.append(
+        _run_stage(
+            "neighborhoods",
+            lambda: r_hop_neighborhood_arrays(graph, args.r),
+            profile=args.profile,
+            top=args.top,
+        )
+    )
+
+    if args.mwis_samples:
+        weights = rng.uniform(0.0, 1.0, size=extended.num_vertices)
+        sample = rng.choice(
+            extended.num_vertices,
+            size=min(args.mwis_samples, extended.num_vertices),
+            replace=False,
+        )
+
+        # The exact solver takes set adjacency; restrict it to the sampled
+        # balls so the stage measures the B&B inner loop, not a full
+        # adjacency_sets() materialization of H.
+        def _solve() -> float:
+            total = 0.0
+            for vertex in sample.tolist():
+                ball = sorted(r_hop_neighborhood(extended, vertex, args.r))
+                local = {v: k for k, v in enumerate(ball)}
+                adjacency = [
+                    {
+                        local[w]
+                        for w in extended.neighbors_array(v).tolist()
+                        if w in local
+                    }
+                    for v in ball
+                ]
+                total += solve_local_mwis(
+                    adjacency, [weights[v] for v in ball], range(len(ball))
+                ).weight
+            return total
+
+        stages.append(
+            _run_stage("local_mwis", _solve, profile=args.profile, top=args.top)
+        )
+
+    total = sum(float(s["seconds"]) for s in stages)
+    print(f"[{'total':<14}] {total * 1e3:10.1f} ms")
+    dominant = max(stages, key=lambda s: float(s["seconds"]))
+    print(
+        f"dominant stage: {dominant['stage']} "
+        f"({100.0 * float(dominant['seconds']) / total:.0f}% of pipeline)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

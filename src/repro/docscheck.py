@@ -1,0 +1,192 @@
+"""Static checker for the repository's markdown documentation.
+
+Docs rot in three ways this module catches mechanically, so the ``docs`` CI
+job can gate on them:
+
+* **Dead internal links** — ``[text](path)`` targets that do not exist on
+  disk (relative to the linking file), and ``#fragment`` anchors that match
+  no heading of the target document (GitHub's heading-slug rules).
+* **Unbalanced code fences** — an unclosed ``` fence silently swallows the
+  rest of the page on render.
+* **Stale command lines** — ``repro run <name>`` / ``repro sweep <name>``
+  examples whose scenario or sweep-plan name is no longer registered.
+
+Usage::
+
+    python -m repro.docscheck            # README.md + docs/*.md
+    python -m repro.docscheck docs/scaling.md README.md
+
+Exit status 0 when every file is clean, 1 otherwise; one report line per
+problem (``path:line: message``).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+from typing import List, Optional, Sequence, Set
+
+__all__ = ["check_file", "check_paths", "heading_anchor", "main"]
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$")
+_FENCE = re.compile(r"^\s*(```+|~~~+)")
+# `repro run <name>` / `python -m repro sweep <name>`; the name group stops
+# at whitespace so flags and file arguments are inspected separately.
+_COMMAND = re.compile(r"\brepro\s+(run|sweep)\s+([^\s`\"']+)")
+_EXTERNAL = re.compile(r"^[a-z][a-z0-9+.-]*:")  # http:, https:, mailto:, ...
+
+
+def heading_anchor(heading: str) -> str:
+    """GitHub-style anchor slug for a markdown heading.
+
+    Lowercase, inline markup and punctuation stripped, spaces to hyphens.
+    This intentionally implements the common subset (no dedup counters for
+    repeated headings — linking ``#x-1`` to the second ``# x`` is rarer than
+    the typos this checker is after).
+    """
+    text = heading.strip().lower()
+    text = re.sub(r"`([^`]*)`", r"\1", text)  # inline code
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links -> text
+    text = re.sub(r"[*_]", "", text)  # emphasis markers
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _headings(path: pathlib.Path) -> Set[str]:
+    anchors: Set[str] = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING.match(line)
+        if match:
+            anchors.add(heading_anchor(match.group(1)))
+    return anchors
+
+
+def _is_command_name(name: str) -> bool:
+    """Heuristic: does this argument look like a preset name to validate?
+
+    Flags, JSON spec files, shell placeholders and substitutions are example
+    syntax, not registry names.
+    """
+    if name.startswith("-") or name.endswith(".json"):
+        return False
+    if any(ch in name for ch in "<>$*{}/\\"):
+        return False
+    return True
+
+
+def _check_command(kind: str, name: str) -> Optional[str]:
+    from repro.spec.registry import list_scenarios
+    from repro.sweep.presets import list_plans
+
+    scenarios = list_scenarios()
+    if kind == "run":
+        if name not in scenarios:
+            return f"`repro run {name}`: unknown scenario (see `repro list`)"
+        return None
+    if name not in scenarios and name not in list_plans():
+        return (
+            f"`repro sweep {name}`: neither a registered scenario nor a "
+            "built-in sweep plan"
+        )
+    return None
+
+
+def check_file(path: pathlib.Path, root: pathlib.Path) -> List[str]:
+    """Return report lines for one markdown file (empty when clean)."""
+    problems: List[str] = []
+    lines = path.read_text(encoding="utf-8").splitlines()
+    in_fence = False
+    fence_open_line = 0
+    for lineno, line in enumerate(lines, start=1):
+        if _FENCE.match(line):
+            in_fence = not in_fence
+            if in_fence:
+                fence_open_line = lineno
+            continue
+
+        if in_fence:
+            # fenced blocks are the copy-paste surface: validate command
+            # names here, and only here (prose may discuss hypothetical or
+            # user-registered names).
+            for match in _COMMAND.finditer(line):
+                kind, name = match.group(1), match.group(2)
+                if _is_command_name(name):
+                    message = _check_command(kind, name)
+                    if message:
+                        problems.append(f"{path}:{lineno}: {message}")
+            continue
+        for match in _LINK.finditer(line):
+            target = match.group(1)
+            if _EXTERNAL.match(target):
+                continue
+            target_path, _, fragment = target.partition("#")
+            if not target_path:  # same-document anchor
+                resolved = path
+            else:
+                resolved = (path.parent / target_path).resolve()
+                try:
+                    resolved.relative_to(root.resolve())
+                except ValueError:
+                    problems.append(
+                        f"{path}:{lineno}: link `{target}` escapes the repository"
+                    )
+                    continue
+                if not resolved.exists():
+                    problems.append(
+                        f"{path}:{lineno}: broken link `{target}` "
+                        f"({resolved} does not exist)"
+                    )
+                    continue
+            if fragment and resolved.suffix == ".md":
+                if heading_anchor(fragment) not in _headings(resolved):
+                    problems.append(
+                        f"{path}:{lineno}: anchor `#{fragment}` not found in "
+                        f"{resolved.name}"
+                    )
+    if in_fence:
+        problems.append(
+            f"{path}:{fence_open_line}: code fence opened here is never closed"
+        )
+    return problems
+
+
+def check_paths(
+    paths: Sequence[pathlib.Path], root: pathlib.Path
+) -> List[str]:
+    """Check every file; missing inputs are reported, not raised."""
+    problems: List[str] = []
+    for path in paths:
+        if not path.exists():
+            problems.append(f"{path}: file does not exist")
+            continue
+        problems.extend(check_file(path, root))
+    return problems
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    root = pathlib.Path.cwd()
+    if argv:
+        paths = [pathlib.Path(arg) for arg in argv]
+    else:
+        paths = [root / "README.md"] + sorted((root / "docs").glob("*.md"))
+    problems = check_paths(paths, root)
+    for line in problems:
+        print(line)
+    if problems:
+        print(f"docscheck: {len(problems)} problem(s) in {len(paths)} file(s)")
+        return 1
+    print(f"docscheck: {len(paths)} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

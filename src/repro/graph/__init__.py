@@ -15,16 +15,23 @@ This subpackage provides:
 * :mod:`repro.graph.topology` -- topology generators (random, linear, grid...).
 """
 
-from repro.graph.geometry import Point, pairwise_distances
+from repro.graph.geometry import Point, grid_cell_keys, pairwise_distances
 from repro.graph.conflict_graph import ConflictGraph
 from repro.graph.extended import ExtendedConflictGraph, VirtualVertex
 from repro.graph.neighborhoods import (
+    all_r_hop_neighborhoods,
     hop_distances,
     r_hop_neighborhood,
+    r_hop_neighborhood_arrays,
     hop_distance,
     eccentricity,
 )
-from repro.graph.unit_disk import unit_disk_edges, build_unit_disk_graph
+from repro.graph.unit_disk import (
+    build_unit_disk_graph,
+    unit_disk_edge_array,
+    unit_disk_edges,
+    unit_disk_edges_naive,
+)
 from repro.graph.topology import (
     random_network,
     linear_network,
@@ -40,11 +47,16 @@ __all__ = [
     "ConflictGraph",
     "ExtendedConflictGraph",
     "VirtualVertex",
+    "grid_cell_keys",
     "hop_distances",
     "hop_distance",
     "r_hop_neighborhood",
+    "r_hop_neighborhood_arrays",
+    "all_r_hop_neighborhoods",
     "eccentricity",
     "unit_disk_edges",
+    "unit_disk_edge_array",
+    "unit_disk_edges_naive",
     "build_unit_disk_graph",
     "random_network",
     "linear_network",

@@ -10,6 +10,14 @@ For every user ``i`` of the original conflict graph ``G`` and every channel
 
 An independent set of ``H`` therefore corresponds one-to-one to a feasible
 channel-allocation strategy of ``G``.
+
+Like :class:`~repro.graph.conflict_graph.ConflictGraph`, the adjacency of
+``H`` is stored in CSR form and *constructed vectorised* from ``G``'s edge
+array: the ``N * M(M-1)/2`` clique edges and ``|E| * M`` same-channel edges
+are generated as flat numpy index arithmetic, never as per-vertex Python
+sets.  At ``N = 10^5, M = 5`` that is ~2.5 million edges built in well under
+a second, where the historical nested-loop build took minutes.  Set-based
+accessors remain available as on-demand views.
 """
 
 from __future__ import annotations
@@ -17,7 +25,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Sequence, Set, Tuple
 
-from repro.graph.conflict_graph import ConflictGraph
+import numpy as np
+
+from repro.graph.conflict_graph import ConflictGraph, build_csr
 
 __all__ = ["VirtualVertex", "ExtendedConflictGraph"]
 
@@ -46,25 +56,49 @@ class ExtendedConflictGraph:
         self._num_nodes = conflict_graph.num_nodes
         self._num_channels = conflict_graph.num_channels
         self._num_vertices = self._num_nodes * self._num_channels
-        self._adjacency: List[Set[int]] = [set() for _ in range(self._num_vertices)]
-        self._build_edges()
+        self._edge_array = self._build_edge_array()
+        self._edge_array.setflags(write=False)
+        self._indptr, self._indices = build_csr(self._num_vertices, self._edge_array)
 
-    def _build_edges(self) -> None:
+    def _build_edge_array(self) -> np.ndarray:
+        """All edges of ``H`` as a canonical ``(m, 2)`` int64 array."""
         m = self._num_channels
-        # Clique among virtual vertices of the same master node.
-        for node in range(self._num_nodes):
-            base = node * m
-            for a in range(m):
-                for b in range(a + 1, m):
-                    self._adjacency[base + a].add(base + b)
-                    self._adjacency[base + b].add(base + a)
-        # Same-channel edges between conflicting masters.
-        for i, j in self._graph.edges():
-            for channel in range(m):
-                u = i * m + channel
-                v = j * m + channel
-                self._adjacency[u].add(v)
-                self._adjacency[v].add(u)
+        parts: List[np.ndarray] = []
+        if m > 1:
+            # Clique among virtual vertices of the same master node: every
+            # in-node channel pair (a, b), a < b, shifted by each node base.
+            a, b = np.triu_indices(m, k=1)
+            bases = np.arange(self._num_nodes, dtype=np.int64) * m
+            parts.append(
+                np.stack(
+                    (
+                        (bases[:, None] + a[None, :]).ravel(),
+                        (bases[:, None] + b[None, :]).ravel(),
+                    ),
+                    axis=1,
+                )
+            )
+        conflicts = self._graph.edge_array()
+        if conflicts.shape[0]:
+            # Same-channel edges between conflicting masters: each G edge
+            # (i, j) with i < j lifts to (i*M + c, j*M + c) for every c.
+            channels = np.arange(m, dtype=np.int64)
+            parts.append(
+                np.stack(
+                    (
+                        (conflicts[:, 0:1] * m + channels[None, :]).ravel(),
+                        (conflicts[:, 1:2] * m + channels[None, :]).ravel(),
+                    ),
+                    axis=1,
+                )
+            )
+        if not parts:
+            return np.zeros((0, 2), dtype=np.int64)
+        edges = np.concatenate(parts, axis=0)
+        # Rows already satisfy lo < hi and are duplicate-free by
+        # construction; sort lexicographically for the canonical order.
+        order = np.lexsort((edges[:, 1], edges[:, 0]))
+        return edges[order]
 
     # ------------------------------------------------------------------
     # Index conversions
@@ -128,38 +162,61 @@ class ExtendedConflictGraph:
     # ------------------------------------------------------------------
     # Adjacency
     # ------------------------------------------------------------------
+    def _row(self, index: int) -> np.ndarray:
+        return self._indices[self._indptr[index] : self._indptr[index + 1]]
+
     def neighbors(self, index: int) -> FrozenSet[int]:
         """Neighbour set of a virtual vertex (same-master clique plus
         same-channel conflict neighbours)."""
         self._check_vertex(index)
-        return frozenset(self._adjacency[index])
+        return frozenset(self._row(index).tolist())
+
+    def neighbors_array(self, index: int) -> np.ndarray:
+        """The sorted neighbour row of a virtual vertex (read-only view)."""
+        self._check_vertex(index)
+        return self._row(index)
 
     def degree(self, index: int) -> int:
         """Degree of a virtual vertex in ``H``."""
         self._check_vertex(index)
-        return len(self._adjacency[index])
+        return int(self._indptr[index + 1] - self._indptr[index])
 
     def edges(self) -> Iterator[Tuple[int, int]]:
         """Iterate over edges of ``H`` as ``(u, v)`` with ``u < v``."""
-        for u, neighbors in enumerate(self._adjacency):
-            for v in neighbors:
-                if u < v:
-                    yield (u, v)
+        for u, v in self._edge_array.tolist():
+            yield (u, v)
+
+    def edge_array(self) -> np.ndarray:
+        """The canonical ``(m, 2)`` int64 edge array of ``H`` (read-only)."""
+        return self._edge_array
+
+    def csr_adjacency(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The ``(indptr, indices)`` CSR adjacency of ``H`` (read-only)."""
+        return self._indptr, self._indices
 
     @property
     def num_edges(self) -> int:
         """Number of edges of ``H``."""
-        return sum(len(n) for n in self._adjacency) // 2
+        return int(self._edge_array.shape[0])
 
     def has_edge(self, u: int, v: int) -> bool:
         """Return ``True`` when virtual vertices ``u`` and ``v`` conflict."""
         self._check_vertex(u)
         self._check_vertex(v)
-        return v in self._adjacency[u]
+        row = self._row(u)
+        slot = int(np.searchsorted(row, v))
+        return slot < len(row) and int(row[slot]) == v
 
     def adjacency_sets(self) -> List[Set[int]]:
-        """Return a copy of the adjacency structure of ``H``."""
-        return [set(neighbors) for neighbors in self._adjacency]
+        """The adjacency of ``H`` as per-vertex Python sets (a fresh copy).
+
+        Compatibility view for the protocol/simulator layers; large-``n``
+        code should use :meth:`csr_adjacency` instead.
+        """
+        return [
+            set(self._indices[self._indptr[v] : self._indptr[v + 1]].tolist())
+            for v in range(self._num_vertices)
+        ]
 
     # ------------------------------------------------------------------
     # Independent sets <-> strategies
@@ -172,7 +229,7 @@ class ExtendedConflictGraph:
             return False
         for vertex in selected_set:
             self._check_vertex(vertex)
-            if self._adjacency[vertex] & selected_set:
+            if not selected_set.isdisjoint(self._row(vertex).tolist()):
                 return False
         return True
 

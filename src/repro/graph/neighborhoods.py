@@ -2,14 +2,34 @@
 
 The robust PTAS and its distributed variant operate on r-hop neighbourhoods
 ``J_{G,r}(v) = {u : d_G(u, v) <= r}`` (Table I of the paper).  The helpers
-here work on any adjacency-set representation, so they are shared by the
-original conflict graph ``G`` and the extended conflict graph ``H``.
+here accept any adjacency-set sequence *or* a CSR-backed graph
+(:class:`~repro.graph.conflict_graph.ConflictGraph`,
+:class:`~repro.graph.extended.ExtendedConflictGraph`), so they are shared by
+the original conflict graph ``G`` and the extended conflict graph ``H``.
+
+Two implementations sit behind one API:
+
+* CSR-backed graphs run a **frontier-based BFS** entirely on numpy arrays —
+  each hop gathers the concatenated neighbour rows of the whole frontier in
+  one shot, marks a boolean visited vector and dedupes with ``np.unique``.
+  No per-vertex Python set is ever materialized on this path;
+  :func:`r_hop_neighborhood_arrays` exposes the raw CSR-of-neighbourhoods
+  form for bulk consumers (macro benchmarks, large-``n`` pipelines).
+* Raw ``Sequence[Set[int]]`` adjacency (the live mutable structures of
+  :mod:`repro.dynamics.graph`) keeps the original pure-Python traversal,
+  bit for bit.
+
+Equivalence of the two paths over every registered topology preset and
+under random churn sequences is locked by
+``tests/graph/test_csr_equivalence.py``.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Sequence, Set, Union
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+import numpy as np
 
 from repro.graph.conflict_graph import ConflictGraph
 from repro.graph.extended import ExtendedConflictGraph
@@ -19,18 +39,64 @@ __all__ = [
     "hop_distance",
     "r_hop_neighborhood",
     "all_r_hop_neighborhoods",
+    "r_hop_neighborhood_arrays",
     "eccentricity",
     "graph_diameter",
 ]
 
 AdjacencyLike = Union[Sequence[Set[int]], ConflictGraph, ExtendedConflictGraph]
 
+_CSRGraph = (ConflictGraph, ExtendedConflictGraph)
+
 
 def _adjacency(graph: AdjacencyLike) -> Sequence[Set[int]]:
     """Normalise the supported graph representations to adjacency sets."""
-    if isinstance(graph, (ConflictGraph, ExtendedConflictGraph)):
+    if isinstance(graph, _CSRGraph):
         return graph.adjacency_sets()
     return graph
+
+
+def _size(graph: AdjacencyLike) -> int:
+    if isinstance(graph, ConflictGraph):
+        return graph.num_nodes
+    if isinstance(graph, ExtendedConflictGraph):
+        return graph.num_vertices
+    return len(graph)
+
+
+def _csr_bfs(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    source: int,
+    max_hops: Optional[int] = None,
+) -> np.ndarray:
+    """Frontier BFS over CSR adjacency; returns the hop-distance vector.
+
+    Unvisited vertices hold ``-1``.  The traversal stops after ``max_hops``
+    levels (or when the frontier empties), so truncated searches only ever
+    touch the ball they return.
+    """
+    n = len(indptr) - 1
+    dist = np.full(n, -1, dtype=np.int64)
+    dist[source] = 0
+    frontier = np.array([source], dtype=np.int64)
+    hops = 0
+    while frontier.size and (max_hops is None or hops < max_hops):
+        starts = indptr[frontier]
+        counts = indptr[frontier + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            break
+        offsets = np.cumsum(counts) - counts
+        flat = np.arange(total, dtype=np.int64) - np.repeat(offsets, counts)
+        gathered = indices[np.repeat(starts, counts) + flat]
+        fresh = gathered[dist[gathered] < 0]
+        if fresh.size == 0:
+            break
+        frontier = np.unique(fresh)
+        hops += 1
+        dist[frontier] = hops
+    return dist
 
 
 def hop_distances(graph: AdjacencyLike, source: int) -> Dict[int, int]:
@@ -38,9 +104,14 @@ def hop_distances(graph: AdjacencyLike, source: int) -> Dict[int, int]:
 
     The source itself is at distance 0.  Unreachable vertices are omitted.
     """
-    adjacency = _adjacency(graph)
-    if not (0 <= source < len(adjacency)):
-        raise ValueError(f"source {source} out of range [0, {len(adjacency)})")
+    n = _size(graph)
+    if not (0 <= source < n):
+        raise ValueError(f"source {source} out of range [0, {n})")
+    if isinstance(graph, _CSRGraph):
+        dist = _csr_bfs(*graph.csr_adjacency(), source)
+        reached = np.flatnonzero(dist >= 0)
+        return dict(zip(reached.tolist(), dist[reached].tolist()))
+    adjacency = graph
     distances: Dict[int, int] = {source: 0}
     queue = deque([source])
     while queue:
@@ -54,10 +125,10 @@ def hop_distances(graph: AdjacencyLike, source: int) -> Dict[int, int]:
 
 def hop_distance(graph: AdjacencyLike, source: int, target: int) -> float:
     """Hop distance ``d(source, target)``; ``inf`` when disconnected."""
-    adjacency = _adjacency(graph)
-    if not (0 <= target < len(adjacency)):
-        raise ValueError(f"target {target} out of range [0, {len(adjacency)})")
-    distances = hop_distances(adjacency, source)
+    n = _size(graph)
+    if not (0 <= target < n):
+        raise ValueError(f"target {target} out of range [0, {n})")
+    distances = hop_distances(graph, source)
     return float(distances.get(target, float("inf")))
 
 
@@ -70,9 +141,13 @@ def r_hop_neighborhood(graph: AdjacencyLike, vertex: int, r: int) -> Set[int]:
     """
     if r < 0:
         raise ValueError(f"r must be non-negative, got {r}")
-    adjacency = _adjacency(graph)
-    if not (0 <= vertex < len(adjacency)):
-        raise ValueError(f"vertex {vertex} out of range [0, {len(adjacency)})")
+    n = _size(graph)
+    if not (0 <= vertex < n):
+        raise ValueError(f"vertex {vertex} out of range [0, {n})")
+    if isinstance(graph, _CSRGraph):
+        dist = _csr_bfs(*graph.csr_adjacency(), vertex, max_hops=r)
+        return set(np.flatnonzero(dist >= 0).tolist())
+    adjacency = graph
     reached: Set[int] = {vertex}
     frontier = {vertex}
     for _ in range(r):
@@ -90,8 +165,42 @@ def r_hop_neighborhood(graph: AdjacencyLike, vertex: int, r: int) -> Set[int]:
 
 def all_r_hop_neighborhoods(graph: AdjacencyLike, r: int) -> List[Set[int]]:
     """Return ``J_r(v)`` for every vertex ``v`` of the graph."""
+    if isinstance(graph, _CSRGraph):
+        return [
+            r_hop_neighborhood(graph, vertex, r) for vertex in range(_size(graph))
+        ]
     adjacency = _adjacency(graph)
     return [r_hop_neighborhood(adjacency, vertex, r) for vertex in range(len(adjacency))]
+
+
+def r_hop_neighborhood_arrays(
+    graph: Union[ConflictGraph, ExtendedConflictGraph], r: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Every ``J_r(v)`` packed as CSR-of-neighbourhoods arrays.
+
+    Returns ``(offsets, members)``: the (sorted) members of ``J_r(v)`` are
+    ``members[offsets[v]:offsets[v + 1]]``.  This is the large-``n`` bulk
+    form — no per-vertex Python set is created.  Only CSR-backed graphs are
+    supported; raw adjacency-set consumers keep
+    :func:`all_r_hop_neighborhoods`.
+    """
+    if r < 0:
+        raise ValueError(f"r must be non-negative, got {r}")
+    indptr, indices = graph.csr_adjacency()
+    n = len(indptr) - 1
+    hoods: List[np.ndarray] = []
+    sizes = np.zeros(n, dtype=np.int64)
+    for vertex in range(n):
+        dist = _csr_bfs(indptr, indices, vertex, max_hops=r)
+        ball = np.flatnonzero(dist >= 0)
+        sizes[vertex] = ball.size
+        hoods.append(ball)
+    offsets = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(sizes, out=offsets[1:])
+    members = (
+        np.concatenate(hoods) if hoods else np.zeros(0, dtype=np.int64)
+    )
+    return offsets, members
 
 
 def eccentricity(graph: AdjacencyLike, vertex: int) -> float:
@@ -99,16 +208,15 @@ def eccentricity(graph: AdjacencyLike, vertex: int) -> float:
 
     Returns ``inf`` when some vertex of the graph is unreachable.
     """
-    adjacency = _adjacency(graph)
-    distances = hop_distances(adjacency, vertex)
-    if len(distances) < len(adjacency):
+    distances = hop_distances(graph, vertex)
+    if len(distances) < _size(graph):
         return float("inf")
     return float(max(distances.values(), default=0))
 
 
 def graph_diameter(graph: AdjacencyLike) -> float:
     """Diameter (maximum eccentricity); ``inf`` for disconnected graphs."""
-    adjacency = _adjacency(graph)
-    if not adjacency:
+    n = _size(graph)
+    if not n:
         return 0.0
-    return max(eccentricity(adjacency, vertex) for vertex in range(len(adjacency)))
+    return max(eccentricity(graph, vertex) for vertex in range(n))

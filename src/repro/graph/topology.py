@@ -17,7 +17,24 @@ import numpy as np
 
 from repro.graph.conflict_graph import ConflictGraph
 from repro.graph.geometry import Point
-from repro.graph.unit_disk import DEFAULT_CONFLICT_RADIUS, build_unit_disk_graph
+from repro.graph.unit_disk import DEFAULT_CONFLICT_RADIUS, unit_disk_edge_array
+
+
+def _geometric_network(
+    coords: np.ndarray, num_channels: int, radius: float
+) -> ConflictGraph:
+    """Build a unit-disk :class:`ConflictGraph` from a coordinate array.
+
+    The whole pipeline is array-based (cell-bucket edge construction into
+    the CSR constructor); the :class:`Point` list is kept only as the
+    positions attribute for reproducibility, plotting and the dynamics
+    layer.
+    """
+    edges = unit_disk_edge_array(coords, radius=radius)
+    positions = [Point(float(x), float(y)) for x, y in coords]
+    return ConflictGraph(
+        len(positions), edges, num_channels, positions=positions
+    )
 
 __all__ = [
     "random_network",
@@ -84,9 +101,7 @@ def random_network(
     if area_side <= 0:
         raise ValueError(f"area_side must be positive, got {area_side}")
     coords = rng.uniform(0.0, area_side, size=(num_nodes, 2))
-    positions = [Point(float(x), float(y)) for x, y in coords]
-    adjacency = build_unit_disk_graph(positions, radius=radius)
-    return ConflictGraph.from_adjacency(adjacency, num_channels, positions=positions)
+    return _geometric_network(coords, num_channels, radius)
 
 
 def connected_random_network(
@@ -140,9 +155,11 @@ def linear_network(
         raise ValueError(f"num_nodes must be positive, got {num_nodes}")
     if spacing <= 0:
         raise ValueError(f"spacing must be positive, got {spacing}")
-    positions = [Point(i * spacing, 0.0) for i in range(num_nodes)]
-    adjacency = build_unit_disk_graph(positions, radius=radius)
-    return ConflictGraph.from_adjacency(adjacency, num_channels, positions=positions)
+    coords = np.stack(
+        (np.arange(num_nodes, dtype=float) * spacing, np.zeros(num_nodes)),
+        axis=1,
+    )
+    return _geometric_network(coords, num_channels, radius)
 
 
 def grid_network(
@@ -160,11 +177,9 @@ def grid_network(
     """
     if rows <= 0 or cols <= 0:
         raise ValueError(f"rows and cols must be positive, got {rows}x{cols}")
-    positions = [
-        Point(c * spacing, r * spacing) for r in range(rows) for c in range(cols)
-    ]
-    adjacency = build_unit_disk_graph(positions, radius=radius)
-    return ConflictGraph.from_adjacency(adjacency, num_channels, positions=positions)
+    ys, xs = np.divmod(np.arange(rows * cols, dtype=np.int64), cols)
+    coords = np.stack((xs * spacing, ys * spacing), axis=1).astype(float)
+    return _geometric_network(coords, num_channels, radius)
 
 
 def ring_network(num_nodes: int, num_channels: int) -> ConflictGraph:

@@ -49,6 +49,8 @@ class TestWorkflow:
             "dynamics-smoke",
             "transport-smoke",
             "faults-smoke",
+            "scale-smoke",
+            "docs",
         }
 
     def test_concurrency_cancels_in_progress_runs(self):
@@ -113,8 +115,43 @@ class TestWorkflow:
         )
         assert baseline["schema"] == "repro.bench-trend/v1"
         groups = {record["group"] for record in baseline["benchmarks"]}
-        # The gated microbenchmark groups must exist in the baseline.
-        assert {"solvers", "policies"} <= groups
+        # The gated benchmark groups must exist in the baseline.
+        assert {"solvers", "policies", "macro"} <= groups
+
+    def test_macro_baseline_covers_both_scales(self):
+        baseline = json.loads(
+            (REPO_ROOT / "benchmarks" / "baseline.json").read_text()
+        )
+        names = {
+            record["name"]
+            for record in baseline["benchmarks"]
+            if record["group"] == "macro"
+        }
+        assert any("10k" in name for name in names), names
+        assert any("100k" in name for name in names), names
+
+    def test_scale_smoke_gates_the_macro_group(self):
+        smoke = _load_workflow()["jobs"]["scale-smoke"]
+        commands = [step.get("run", "") for step in smoke["steps"]]
+        assert any(
+            "pytest benchmarks/test_bench_macro.py" in command
+            and "--benchmark-json" in command
+            for command in commands
+        ), "scale-smoke must record macro benchmark timings"
+        assert any(
+            "repro.benchtrend check" in command
+            and "benchmarks/baseline.json" in command
+            and "--group macro" in command
+            and "--max-ratio 2.0" in command
+            for command in commands
+        ), "scale-smoke must gate the macro group against the baseline at 2x"
+
+    def test_docs_job_runs_docscheck(self):
+        docs = _load_workflow()["jobs"]["docs"]
+        commands = [step.get("run", "") for step in docs["steps"]]
+        assert any(
+            "repro.docscheck" in command for command in commands
+        ), "docs job must run the markdown checker"
 
     def test_sweep_smoke_runs_process_backend_and_asserts_cache_hits(self):
         smoke = _load_workflow()["jobs"]["sweep-smoke"]
