@@ -1,0 +1,67 @@
+"""Observability overhead benchmarks (the ``obs`` trend group).
+
+The contract is that the default no-op observer is cheap enough to leave
+its calls permanently inlined in the hot loops.  Two angles:
+
+* ``test_simulator_rounds_noop_observed`` drives the real instrumented
+  :class:`~repro.sim.engine.Simulator` loop under the default observer —
+  the policy-round path every per-round scenario takes.
+* ``test_noop_span_and_counter_raw`` measures the raw per-call price of
+  the no-op span/counter/histogram primitives in isolation.
+
+Both carry ``baseline.json`` entries and are gated by the benchtrend CI
+check, so a regression that makes "tracing off" meaningfully slower than
+seed fails the build.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.channels.state import ChannelState
+from repro.core.policies import CombinatorialUCBPolicy
+from repro.graph.conflict_graph import ConflictGraph
+from repro.graph.extended import ExtendedConflictGraph
+from repro.mwis.exact import ExactMWISSolver
+from repro.obs import NULL_OBSERVER, current_observer
+from repro.sim.engine import Simulator
+
+
+def _environment():
+    graph = ConflictGraph(
+        8,
+        [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (0, 7), (1, 6)],
+        num_channels=3,
+    )
+    extended = ExtendedConflictGraph(graph)
+    means = np.linspace(1.0, 9.0, 8 * 3).reshape(8, 3)
+    channels = ChannelState.from_mean_matrix(means, relative_std=0.02)
+    return extended, channels
+
+
+def test_simulator_rounds_noop_observed(benchmark):
+    extended, channels = _environment()
+
+    def drive():
+        simulator = Simulator(
+            extended, channels, rng=np.random.default_rng(2014)
+        )
+        policy = CombinatorialUCBPolicy(extended, solver=ExactMWISSolver())
+        return simulator.run(policy, num_rounds=5)
+
+    result = benchmark(drive)
+    assert result.num_rounds == 5
+    assert current_observer() is NULL_OBSERVER
+
+
+def test_noop_span_and_counter_raw(benchmark):
+    observer = NULL_OBSERVER
+
+    def hot_loop():
+        for index in range(1000):
+            with observer.span("bench.iteration", index=index):
+                observer.count("bench.counter")
+                observer.observe("bench.histogram", 0.5)
+
+    benchmark(hot_loop)
+    assert observer.enabled is False

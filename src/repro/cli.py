@@ -46,6 +46,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import logging
 import pathlib
 import sys
 from typing import Optional, Sequence
@@ -65,6 +66,13 @@ from repro.experiments import (
     run_fig7,
     run_fig8,
 )
+from repro.obs import (
+    TraceError,
+    TracingObserver,
+    summarize_trace_file,
+    use_observer,
+    write_trace,
+)
 from repro.sim.backends import BACKEND_NAMES
 from repro.spec import (
     ScenarioSpec,
@@ -79,6 +87,28 @@ from repro.spec import (
 
 __all__ = ["main", "build_parser"]
 
+#: Diagnostics logger; everything goes to stderr so stdout stays reserved
+#: for reports and machine-readable JSON (``--json -`` piping stays clean).
+_LOG = logging.getLogger("repro")
+
+_LOG_LEVELS = ("debug", "info", "warning", "error")
+
+
+def _logging_parent() -> argparse.ArgumentParser:
+    """Shared ``--log-level`` flag, attached to every sub-command.
+
+    An argparse *parent* parser is the only way a flag can legally appear
+    after the sub-command name (``repro run fig6-smoke --log-level info``).
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--log-level",
+        choices=_LOG_LEVELS,
+        default="warning",
+        help="stderr diagnostics verbosity (default: warning)",
+    )
+    return parent
+
 
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser (exposed for tests)."""
@@ -87,10 +117,13 @@ def build_parser() -> argparse.ArgumentParser:
         description="Reproduce the evaluation of 'Almost Optimal Channel Access "
         "in Multi-Hop Networks With Unknown Channel Variables' (ICDCS 2014).",
     )
+    logging_parent = _logging_parent()
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     run = subparsers.add_parser(
-        "run", help="run a registered scenario (or a JSON spec file)"
+        "run",
+        parents=[logging_parent],
+        help="run a registered scenario (or a JSON spec file)",
     )
     run.add_argument(
         "scenario",
@@ -115,9 +148,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the result envelope as JSON to PATH ('-' prints JSON "
         "instead of the text report)",
     )
+    run.add_argument(
+        "--trace",
+        dest="trace_path",
+        default=None,
+        metavar="PATH",
+        help="record a repro.trace/v1 JSONL span/metrics trace of the run "
+        "to PATH (inspect with `repro trace summarize PATH`)",
+    )
 
     sweep = subparsers.add_parser(
         "sweep",
+        parents=[logging_parent],
         help="run a parameter sweep (grid of scenarios) with a cached "
         "results store",
     )
@@ -183,6 +225,14 @@ def build_parser() -> argparse.ArgumentParser:
         "counts) to PATH",
     )
     sweep.add_argument(
+        "--trace",
+        dest="trace_path",
+        default=None,
+        metavar="PATH",
+        help="record a repro.trace/v1 JSONL span/metrics trace of the sweep "
+        "to PATH (inspect with `repro trace summarize PATH`)",
+    )
+    sweep.add_argument(
         "--summarize",
         action="store_true",
         help="without a target: summarize the store contents; with a "
@@ -194,7 +244,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="list the built-in sweep plans and exit",
     )
 
-    list_cmd = subparsers.add_parser("list", help="list the registered scenarios")
+    trace = subparsers.add_parser(
+        "trace", help="inspect recorded repro.trace/v1 traces"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_summarize = trace_sub.add_parser(
+        "summarize",
+        parents=[logging_parent],
+        help="aggregate a trace file into span/counter/histogram tables",
+    )
+    trace_summarize.add_argument(
+        "trace_file", help="path to a repro.trace/v1 JSONL file"
+    )
+
+    list_cmd = subparsers.add_parser(
+        "list", parents=[logging_parent], help="list the registered scenarios"
+    )
     list_cmd.add_argument(
         "--mode",
         choices=("per-round", "periodic", "protocol", "dynamic"),
@@ -203,20 +268,30 @@ def build_parser() -> argparse.ArgumentParser:
         "per-round scenarios with topology dynamics attached)",
     )
 
-    show = subparsers.add_parser("show", help="print a scenario's JSON spec")
+    show = subparsers.add_parser(
+        "show", parents=[logging_parent], help="print a scenario's JSON spec"
+    )
     show.add_argument("scenario", help="registered scenario name")
 
-    fig6 = subparsers.add_parser("fig6", help="Fig. 6: strategy-decision convergence")
+    fig6 = subparsers.add_parser(
+        "fig6",
+        parents=[logging_parent],
+        help="Fig. 6: strategy-decision convergence",
+    )
     fig6.add_argument("--paper", action="store_true", help="use the paper-scale networks")
     fig6.add_argument("--seed", type=int, default=None, help="override the random seed")
 
-    fig7 = subparsers.add_parser("fig7", help="Fig. 7: practical regret vs. LLR")
+    fig7 = subparsers.add_parser(
+        "fig7", parents=[logging_parent], help="Fig. 7: practical regret vs. LLR"
+    )
     fig7.add_argument("--paper", action="store_true", help="use the paper-scale network")
     fig7.add_argument("--rounds", type=int, default=None, help="number of time slots")
     fig7.add_argument("--seed", type=int, default=None, help="override the random seed")
     _add_replication_arguments(fig7)
 
-    fig8 = subparsers.add_parser("fig8", help="Fig. 8: periodic-update throughput")
+    fig8 = subparsers.add_parser(
+        "fig8", parents=[logging_parent], help="Fig. 8: periodic-update throughput"
+    )
     fig8.add_argument("--paper", action="store_true", help="use the paper-scale network")
     fig8.add_argument(
         "--periods", type=str, default=None, help="comma-separated update periods"
@@ -225,10 +300,16 @@ def build_parser() -> argparse.ArgumentParser:
     fig8.add_argument("--seed", type=int, default=None, help="override the random seed")
     _add_replication_arguments(fig8)
 
-    subparsers.add_parser("table2", help="Table II: round timing parameters")
+    subparsers.add_parser(
+        "table2",
+        parents=[logging_parent],
+        help="Table II: round timing parameters",
+    )
 
     complexity = subparsers.add_parser(
-        "complexity", help="Section IV-C complexity measurements"
+        "complexity",
+        parents=[logging_parent],
+        help="Section IV-C complexity measurements",
     )
     complexity.add_argument(
         "--paper", action="store_true", help="use the paper-scale networks"
@@ -286,6 +367,25 @@ def _load_spec(reference: str) -> ScenarioSpec:
     return get_scenario(reference)
 
 
+def _traced(callable_, trace_path, scenario):
+    """Run ``callable_`` under a tracing observer when ``trace_path`` is set.
+
+    With no trace path the callable runs under the default no-op observer,
+    so the untraced path stays exactly as fast (and as deterministic) as it
+    was before observability existed.
+    """
+    if trace_path is None:
+        return callable_()
+    observer = TracingObserver()
+    with use_observer(observer):
+        outcome = callable_()
+    write_trace(trace_path, observer, scenario=scenario)
+    _LOG.info(
+        "wrote trace (%d spans) to %s", len(observer.spans()), trace_path
+    )
+    return outcome
+
+
 def _run_scenario_command(args) -> str:
     spec = _load_spec(args.scenario)
     overrides = parse_set_items(args.overrides)
@@ -297,11 +397,16 @@ def _run_scenario_command(args) -> str:
             )
         overrides["seed"] = args.seed
     spec = apply_overrides(spec, overrides)
-    result = run_scenario(spec)
+    _LOG.info("running scenario %s", spec.name)
+    result = _traced(lambda: run_scenario(spec), args.trace_path, spec.name)
+    _LOG.info(
+        "scenario %s finished in %.2fs", spec.name, result.wall_clock_s
+    )
     if args.json_path == "-":
         return result.to_json()
     if args.json_path is not None:
         pathlib.Path(args.json_path).write_text(result.to_json() + "\n")
+        _LOG.info("wrote result envelope to %s", args.json_path)
     return format_result(result)
 
 
@@ -388,15 +493,30 @@ def _run_sweep_command(args) -> str:
         if store is None:
             raise SpecError("sweep: --summarize needs a store (drop --no-store)")
         return _sweep_status(plan, store)
+    _LOG.info(
+        "running sweep %s (%d point(s), backend=%s, jobs=%d)",
+        plan.name, plan.num_points, args.backend, args.jobs,
+    )
     try:
-        sweep = run_sweep(plan, store=store, backend=args.backend, jobs=args.jobs)
+        sweep = _traced(
+            lambda: run_sweep(
+                plan, store=store, backend=args.backend, jobs=args.jobs
+            ),
+            args.trace_path,
+            plan.name,
+        )
     except ValueError as err:
         # Backend/jobs validation errors are user errors, not crashes.
         raise SpecError(str(err)) from None
+    _LOG.info(
+        "sweep %s: %d computed, %d cached",
+        plan.name, sweep.computed_units, sweep.cached_units,
+    )
     if args.stats_json_path is not None:
         pathlib.Path(args.stats_json_path).write_text(
             json.dumps(sweep.stats(), indent=2) + "\n"
         )
+        _LOG.info("wrote sweep statistics to %s", args.stats_json_path)
     if args.json_path == "-":
         return json.dumps(sweep.to_dict(), indent=2)
     if args.json_path is not None:
@@ -444,6 +564,17 @@ def _show_scenario_command(args) -> str:
     return json.dumps(get_scenario(args.scenario).to_dict(), indent=2)
 
 
+def _trace_command(args) -> str:
+    if args.trace_command != "summarize":  # pragma: no cover - argparse gates
+        raise SpecError(f"unknown trace sub-command {args.trace_command!r}")
+    try:
+        return summarize_trace_file(args.trace_file)
+    except FileNotFoundError:
+        raise SpecError(f"trace file {args.trace_file!r} does not exist") from None
+    except TraceError as err:
+        raise SpecError(f"trace: {err}") from None
+
+
 def _run_fig6(args) -> str:
     config = Fig6Config.from_scenario(f"fig6-{_preset(args)}")
     config = _override(config, seed=args.seed)
@@ -486,13 +617,29 @@ def _run_complexity(args) -> str:
     return format_complexity(run_complexity(config))
 
 
+def _configure_logging(level_name: str) -> None:
+    """Send diagnostics to stderr at the requested level.
+
+    ``force=True`` rebinds the root handlers on every invocation so repeated
+    in-process ``main()`` calls (tests, notebooks) honour the latest flag.
+    """
+    logging.basicConfig(
+        level=getattr(logging, level_name.upper()),
+        stream=sys.stderr,
+        format="%(levelname)s %(name)s: %(message)s",
+        force=True,
+    )
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Run one sub-command and print its report."""
     parser = build_parser()
     args = parser.parse_args(list(argv) if argv is not None else None)
+    _configure_logging(getattr(args, "log_level", "warning"))
     handlers = {
         "run": _run_scenario_command,
         "sweep": _run_sweep_command,
+        "trace": _trace_command,
         "list": _list_scenarios_command,
         "show": _show_scenario_command,
         "fig6": _run_fig6,

@@ -18,6 +18,7 @@ from collections import defaultdict
 from typing import Dict, List, Optional, Sequence, Set
 
 from repro.distributed.messages import Message
+from repro.distributed.telemetry import DeliveryTelemetry
 from repro.graph.neighborhoods import r_hop_neighborhood
 
 __all__ = ["MessageNetwork"]
@@ -48,7 +49,7 @@ class MessageNetwork:
         )
         self._inboxes: List[List[Message]] = [[] for _ in range(self._num_vertices)]
         self._messages_sent: List[int] = [0] * self._num_vertices
-        self._deliveries = 0
+        self._telemetry = DeliveryTelemetry()
         self._mini_timeslots: Dict[str, int] = defaultdict(int)
 
     # ------------------------------------------------------------------
@@ -89,7 +90,11 @@ class MessageNetwork:
         for recipient in recipients:
             self._inboxes[recipient].append(message)
         self._messages_sent[sender] += 1
-        self._deliveries += len(recipients)
+        if recipients:
+            self._telemetry.count_deliveries(len(recipients))
+            self._telemetry.count_delivered_type(
+                type(message).__name__, len(recipients)
+            )
         # A k-hop flood needs O(k) mini-timeslots to propagate.
         self._mini_timeslots[phase] += max(1, message.hop_limit)
         return len(recipients)
@@ -133,7 +138,12 @@ class MessageNetwork:
     @property
     def total_deliveries(self) -> int:
         """Total number of (message, recipient) deliveries."""
-        return self._deliveries
+        return self._telemetry.deliveries
+
+    @property
+    def total_dropped(self) -> int:
+        """Pairs lost to a drop model (always 0: this network is lossless)."""
+        return self._telemetry.dropped
 
     def mini_timeslots(self, phase: Optional[str] = None) -> int:
         """Mini-timeslots consumed, optionally restricted to one phase."""
@@ -141,10 +151,20 @@ class MessageNetwork:
             return self._mini_timeslots.get(phase, 0)
         return sum(self._mini_timeslots.values())
 
+    def telemetry_summary(self) -> Dict[str, float]:
+        """Flat numeric delivery summary (same schema on every transport).
+
+        Instant lossless delivery means drops, out-of-order arrivals and
+        latency are structurally zero here, but the keys match
+        :meth:`repro.distributed.runtime.AsyncioTransport.telemetry_summary`
+        so callers report through one code path.
+        """
+        return self._telemetry.summary()
+
     def reset_costs(self) -> None:
         """Zero all counters (inboxes are left untouched)."""
         self._messages_sent = [0] * self._num_vertices
-        self._deliveries = 0
+        self._telemetry.reset()
         self._mini_timeslots = defaultdict(int)
 
     def reset(self) -> None:

@@ -42,11 +42,13 @@ from repro.distributed.messages import (
     WeightBroadcast,
 )
 from repro.distributed.serialize import decode_message, encode_message
+from repro.distributed.telemetry import DeliveryTelemetry
 from repro.distributed.transport import Transport
 from repro.distributed.vertex import VertexAgent, VertexStatus
 from repro.graph.neighborhoods import r_hop_neighborhood
 from repro.mwis.base import Adjacency, IndependentSet, MWISSolver, is_independent
 from repro.mwis.local import solve_local_mwis
+from repro.obs import current_observer
 
 __all__ = [
     "MiniRoundRecord",
@@ -345,6 +347,34 @@ class ProtocolEngine:
             )
         if hard_limit is None:
             hard_limit = self._num_vertices
+        obs = current_observer()
+        messages_before = transport.total_messages_sent
+        deliveries_before = transport.total_deliveries
+        dropped_before = transport.total_dropped
+        with obs.span(
+            "protocol.run", num_vertices=self._num_vertices, r=self._r
+        ) as run_span:
+            result = self._execute(
+                transport, weights, broadcasting_vertices, hard_limit, obs
+            )
+            run_span.set_attrs(
+                mini_rounds=result.num_mini_rounds, converged=result.converged
+            )
+        obs.count("net.messages", transport.total_messages_sent - messages_before)
+        obs.count("net.deliveries", transport.total_deliveries - deliveries_before)
+        dropped = transport.total_dropped - dropped_before
+        if dropped:
+            obs.count("net.dropped", dropped)
+        return result
+
+    def _execute(
+        self,
+        transport: Transport,
+        weights: Sequence[float],
+        broadcasting_vertices: Optional[Iterable[int]],
+        hard_limit: int,
+        obs,
+    ) -> ProtocolResult:
         vertices = [
             VertexProtocol(
                 vertex,
@@ -371,14 +401,15 @@ class ProtocolEngine:
             broadcasters: Iterable[int] = range(self._num_vertices)
         else:
             broadcasters = sorted(set(broadcasting_vertices))
-        for sender in broadcasters:
-            if not (0 <= sender < self._num_vertices):
-                raise ValueError(
-                    f"broadcasting vertex {sender} out of range "
-                    f"[0, {self._num_vertices})"
-                )
-            vertices[sender].announce_weight()
-        self._deliver(transport, vertices)
+        with obs.span("protocol.phase", phase="WB"):
+            for sender in broadcasters:
+                if not (0 <= sender < self._num_vertices):
+                    raise ValueError(
+                        f"broadcasting vertex {sender} out of range "
+                        f"[0, {self._num_vertices})"
+                    )
+                vertices[sender].announce_weight()
+            self._deliver(transport, vertices)
 
         records: List[MiniRoundRecord] = []
         winners: Set[int] = set()
@@ -390,22 +421,30 @@ class ProtocolEngine:
                 vertex.status == VertexStatus.CANDIDATE for vertex in vertices
             ):
                 break
-            leaders = [
-                vertex.vertex
-                for vertex in vertices
-                if vertex.begin_mini_round(mini_round) is not None
-            ]
-            new_winners: Set[int] = set()
-            new_losers: Set[int] = set()
-            for leader in leaders:
-                determination = vertices[leader].determine_statuses(mini_round)
-                computation.local_mwis_calls += 1
-                computation.candidate_set_sizes.append(
-                    vertices[leader].last_candidate_set_size
+            with obs.span("protocol.mini_round", mini_round=mini_round) as round_span:
+                with obs.span("protocol.phase", phase="LD"):
+                    leaders = [
+                        vertex.vertex
+                        for vertex in vertices
+                        if vertex.begin_mini_round(mini_round) is not None
+                    ]
+                new_winners: Set[int] = set()
+                new_losers: Set[int] = set()
+                with obs.span("protocol.phase", phase="LB"):
+                    for leader in leaders:
+                        determination = vertices[leader].determine_statuses(mini_round)
+                        computation.local_mwis_calls += 1
+                        computation.candidate_set_sizes.append(
+                            vertices[leader].last_candidate_set_size
+                        )
+                        for vertex, is_winner in determination.decisions.items():
+                            (new_winners if is_winner else new_losers).add(vertex)
+                    self._deliver(transport, vertices)
+                round_span.set_attrs(
+                    leaders=len(leaders),
+                    new_winners=len(new_winners),
+                    new_losers=len(new_losers),
                 )
-                for vertex, is_winner in determination.decisions.items():
-                    (new_winners if is_winner else new_losers).add(vertex)
-            self._deliver(transport, vertices)
             winners |= new_winners
             cumulative_weight += sum(float(weights[v]) for v in new_winners)
             remaining = sum(
@@ -586,8 +625,7 @@ class AsyncioTransport(Transport):
 
         self._inboxes: List[List[Message]] = [[] for _ in range(self._num_vertices)]
         self._messages_sent: List[int] = [0] * self._num_vertices
-        self._deliveries = 0
-        self._dropped = 0
+        self._telemetry = DeliveryTelemetry()
         self._mini_timeslots: Dict[str, int] = {}
         #: Deliveries staged by the router, flushed at the next phase barrier:
         #: (virtual delivery time, reorder jitter, sequence, recipient, frame).
@@ -601,10 +639,6 @@ class AsyncioTransport(Transport):
         #: ``(message type, sender, recipient)`` per delivery, in delivery
         #: order.  The determinism contract: same seed => same trace.
         self.delivery_trace: List[Tuple[str, int, int]] = []
-        # Telemetry accumulators summarized by :meth:`telemetry_summary`.
-        self._latency_total = 0.0
-        self._latency_max = 0.0
-        self._out_of_order = 0
         self._last_delivered_seq: List[int] = [0] * self._num_vertices
 
         self._closed = False
@@ -676,6 +710,7 @@ class AsyncioTransport(Transport):
             message = self._decode(line)
             self._inboxes[vertex].append(message)
             self.delivery_trace.append((type(message).__name__, message.sender, vertex))
+            self._telemetry.count_delivered_type(type(message).__name__)
             self._in_flight -= 1
 
     def _decode(self, line: bytes) -> Message:
@@ -706,7 +741,7 @@ class AsyncioTransport(Transport):
                 self._drop_probability > 0.0
                 and self._rng.random() < self._drop_probability
             ):
-                self._dropped += 1
+                self._telemetry.count_drop()
                 continue
             if self._latency == "uniform":
                 delay = float(self._rng.uniform(0.0, self._latency_scale))
@@ -719,10 +754,7 @@ class AsyncioTransport(Transport):
             self._staged.append(
                 (self._clock + delay, jitter, self._sequence, recipient, line)
             )
-            self._deliveries += 1
-            self._latency_total += delay
-            if delay > self._latency_max:
-                self._latency_max = delay
+            self._telemetry.count_delivery_latency(delay)
         self._last_recipients = len(recipients)
 
     async def _until_routed(self) -> None:
@@ -739,7 +771,7 @@ class AsyncioTransport(Transport):
             # A frame delivered after a later-sent frame to the same recipient
             # arrived out of send order (latency or reordering moved it).
             if sequence < self._last_delivered_seq[recipient]:
-                self._out_of_order += 1
+                self._telemetry.count_out_of_order()
             else:
                 self._last_delivered_seq[recipient] = sequence
             self._in_flight += 1
@@ -810,12 +842,12 @@ class AsyncioTransport(Transport):
     @property
     def total_deliveries(self) -> int:
         """Total number of (message, recipient) deliveries (drops excluded)."""
-        return self._deliveries
+        return self._telemetry.deliveries
 
     @property
     def total_dropped(self) -> int:
         """Number of (message, recipient) pairs lost to the drop model."""
-        return self._dropped
+        return self._telemetry.dropped
 
     def mini_timeslots(self, phase: Optional[str] = None) -> int:
         """Mini-timeslots consumed, optionally restricted to one phase."""
@@ -828,31 +860,17 @@ class AsyncioTransport(Transport):
 
         Keys are envelope-record ready (all values are floats): totals for
         deliveries / drops / out-of-order arrivals, virtual-latency stats,
-        and one ``delivered_<tag>`` counter per message type observed in
-        :attr:`delivery_trace`.  Lossy and faulty runs surface this into the
-        JSON envelope so they are diagnosable without re-running.
+        and one ``net_delivered_<tag>`` counter per delivered message type.
+        Lossy and faulty runs surface this into the JSON envelope so they
+        are diagnosable without re-running.  The schema is shared with
+        :meth:`repro.distributed.network.MessageNetwork.telemetry_summary`.
         """
-        summary: Dict[str, float] = {
-            "net_deliveries": float(self._deliveries),
-            "net_dropped": float(self._dropped),
-            "net_out_of_order": float(self._out_of_order),
-            "net_latency_mean": (
-                self._latency_total / self._deliveries if self._deliveries else 0.0
-            ),
-            "net_latency_max": float(self._latency_max),
-        }
-        per_type: Dict[str, int] = {}
-        for type_name, _, _ in self.delivery_trace:
-            per_type[type_name] = per_type.get(type_name, 0) + 1
-        for type_name in sorted(per_type):
-            summary[f"net_delivered_{type_name}"] = float(per_type[type_name])
-        return summary
+        return self._telemetry.summary()
 
     def reset_costs(self) -> None:
         """Zero all counters (inboxes and staged deliveries are kept)."""
         self._messages_sent = [0] * self._num_vertices
-        self._deliveries = 0
-        self._dropped = 0
+        self._telemetry.reset()
         self._mini_timeslots = {}
 
     def reset(self) -> None:
@@ -866,9 +884,6 @@ class AsyncioTransport(Transport):
         self._staged.clear()
         self._inboxes = [[] for _ in range(self._num_vertices)]
         self.delivery_trace = []
-        self._latency_total = 0.0
-        self._latency_max = 0.0
-        self._out_of_order = 0
         self._last_delivered_seq = [0] * self._num_vertices
         self.reset_costs()
 

@@ -100,6 +100,24 @@ class Transport(abc.ABC):
     def mini_timeslots(self, phase: Optional[str] = None) -> int:
         """Mini-timeslots consumed, optionally restricted to one phase."""
 
+    @property
+    @abc.abstractmethod
+    def total_dropped(self) -> int:
+        """(message, recipient) pairs lost to the drop model (0 if lossless)."""
+
+    @abc.abstractmethod
+    def telemetry_summary(self) -> "dict":
+        """Flat numeric delivery summary (``net_*`` keys, float values).
+
+        Every transport reports the same schema — ``net_deliveries``,
+        ``net_dropped``, ``net_out_of_order``, ``net_latency_mean``,
+        ``net_latency_max`` and per-type ``net_delivered_<Type>`` counts —
+        backed by :class:`repro.distributed.telemetry.DeliveryTelemetry`
+        on the obs metrics registry.  The summary never enters the
+        envelope's canonical form, so recording it cannot perturb result
+        hashes.
+        """
+
     @abc.abstractmethod
     def reset_costs(self) -> None:
         """Zero all counters (inboxes are left untouched)."""

@@ -35,6 +35,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Set, Tuple
 
+from repro.obs import current_observer
+
 __all__ = ["termination_bound", "QuorumConfig", "QuorumState"]
 
 
@@ -110,6 +112,8 @@ class QuorumState:
 
     def convict(self, accused: int, reason: str) -> None:
         """Direct evidence: exclude now and queue one accusation broadcast."""
+        if accused not in self.excluded:
+            current_observer().count(f"faults.convictions.{reason}")
         self.excluded.add(accused)
         if accused not in self.accused_already:
             self.accused_already.add(accused)
@@ -122,6 +126,8 @@ class QuorumState:
         votes = self.accusers.setdefault(accused, set())
         votes.add(accuser)
         if len(votes) >= self.config.threshold:
+            if accused not in self.excluded:
+                current_observer().count("faults.quorum_exclusions")
             self.excluded.add(accused)
 
     def end_mini_round(self, blockers: Set[int]) -> None:
@@ -139,5 +145,7 @@ class QuorumState:
                 count = self.silence.get(vertex, 0) + 1
                 self.silence[vertex] = count
                 if count >= self.config.patience:
+                    if vertex not in self.suspected:
+                        current_observer().count("faults.suspicions")
                     self.suspected.add(vertex)
         self.heard.clear()

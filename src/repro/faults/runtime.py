@@ -58,6 +58,7 @@ from repro.faults.plan import FaultPlan
 from repro.faults.quorum import QuorumConfig, QuorumState, termination_bound
 from repro.mwis.base import Adjacency, IndependentSet, MWISSolver, is_independent
 from repro.mwis.local import solve_local_mwis
+from repro.obs import current_observer
 
 __all__ = [
     "FaultController",
@@ -500,6 +501,38 @@ class FaultInjectionEngine:
                 f"transport connects {transport.num_vertices} vertices but the "
                 f"graph has {self._num_vertices}"
             )
+        obs = current_observer()
+        with obs.span(
+            "faults.run",
+            num_vertices=self._num_vertices,
+            num_faults=self._plan.num_faults,
+            quorum=self._quorum is not None,
+        ) as run_span:
+            result, report = self._execute(transport, weights, hard_limit, obs)
+            run_span.set_attrs(
+                mini_rounds=result.num_mini_rounds,
+                corrupted_winners=report.corrupted_winners,
+            )
+        for name, value in (
+            ("faults.crashed", report.num_crashed),
+            ("faults.byzantine", report.num_byzantine),
+            ("faults.accusations_sent", report.accusations_sent),
+            ("faults.quorum_rejected", report.quorum_rejected),
+            ("faults.excluded_senders", report.excluded_senders),
+            ("faults.suspected_crashed", report.suspected_crashed),
+            ("faults.corrupted_winners", report.corrupted_winners),
+        ):
+            if value:
+                obs.count(name, value)
+        return result, report
+
+    def _execute(
+        self,
+        transport: Transport,
+        weights: Sequence[float],
+        hard_limit: Optional[int],
+        obs,
+    ) -> Tuple[ProtocolResult, FaultReport]:
         if hard_limit is None:
             hard_limit = self._num_vertices
             if self._quorum is not None:
@@ -573,29 +606,30 @@ class FaultInjectionEngine:
                 for vertex in vertices
             ):
                 break
-            controller.clock = (mini_round, _PHASE_LD)
-            leaders = [
-                vertex.vertex
-                for vertex in vertices
-                if vertex.begin_mini_round(mini_round) is not None
-            ]
-            controller.clock = (mini_round, _PHASE_LB)
-            new_winners: Set[int] = set()
-            new_losers: Set[int] = set()
-            for leader in leaders:
-                determination = vertices[leader].determine_statuses(mini_round)
-                if determination is None:
-                    continue  # the leader crashed between LD and LB
-                computation.local_mwis_calls += 1
-                computation.candidate_set_sizes.append(
-                    vertices[leader].last_candidate_set_size
-                )
-                for vertex, is_winner in determination.decisions.items():
-                    (new_winners if is_winner else new_losers).add(vertex)
-            deliver()
-            qr_phase(mini_round)
-            for vertex in vertices:
-                vertex.end_mini_round()
+            with obs.span("faults.mini_round", mini_round=mini_round):
+                controller.clock = (mini_round, _PHASE_LD)
+                leaders = [
+                    vertex.vertex
+                    for vertex in vertices
+                    if vertex.begin_mini_round(mini_round) is not None
+                ]
+                controller.clock = (mini_round, _PHASE_LB)
+                new_winners: Set[int] = set()
+                new_losers: Set[int] = set()
+                for leader in leaders:
+                    determination = vertices[leader].determine_statuses(mini_round)
+                    if determination is None:
+                        continue  # the leader crashed between LD and LB
+                    computation.local_mwis_calls += 1
+                    computation.candidate_set_sizes.append(
+                        vertices[leader].last_candidate_set_size
+                    )
+                    for vertex, is_winner in determination.decisions.items():
+                        (new_winners if is_winner else new_losers).add(vertex)
+                deliver()
+                qr_phase(mini_round)
+                for vertex in vertices:
+                    vertex.end_mini_round()
             winners_claimed |= new_winners
             cumulative_weight += sum(float(weights[v]) for v in new_winners)
             remaining = sum(

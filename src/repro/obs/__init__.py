@@ -1,0 +1,45 @@
+"""Observability layer: spans, metrics, and exportable traces.
+
+``repro.obs`` provides a context-local :class:`Observer` that the sim,
+sweep, distributed, and faults layers report into.  The default observer
+is a zero-overhead no-op, so instrumented code paths stay bit-identical
+to uninstrumented runs whether tracing is off or on: observers only read
+the wall clock and accumulate counters — they never touch RNG streams or
+envelope contents.
+"""
+
+from repro.obs.metrics import MetricsRegistry, percentile
+from repro.obs.observer import (
+    NULL_OBSERVER,
+    Observer,
+    current_observer,
+    use_observer,
+)
+from repro.obs.summarize import summarize_trace, summarize_trace_file
+from repro.obs.trace import (
+    TRACE_SCHEMA,
+    SpanRecord,
+    TraceData,
+    TraceError,
+    TracingObserver,
+    read_trace,
+    write_trace,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "NULL_OBSERVER",
+    "Observer",
+    "SpanRecord",
+    "TRACE_SCHEMA",
+    "TraceData",
+    "TraceError",
+    "TracingObserver",
+    "current_observer",
+    "percentile",
+    "read_trace",
+    "summarize_trace",
+    "summarize_trace_file",
+    "use_observer",
+    "write_trace",
+]

@@ -1,0 +1,133 @@
+"""Metrics registry: counters, gauges, and histograms.
+
+Histogram summaries are deterministic: percentiles use the nearest-rank
+method over the sorted stored observations, so two runs that record the
+same values produce byte-identical summaries regardless of insertion
+order or platform.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Dict, List, Optional
+
+
+def percentile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank percentile ``q`` (0-100] of pre-sorted ``sorted_values``."""
+    if not sorted_values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 < q <= 100.0:
+        raise ValueError(f"percentile q must be in (0, 100], got {q}")
+    rank = math.ceil(q / 100.0 * len(sorted_values))
+    return sorted_values[rank - 1]
+
+
+def summarize_values(values: List[float]) -> Dict[str, float]:
+    """Deterministic summary of a list of observations."""
+    ordered = sorted(values)
+    count = len(ordered)
+    total = sum(ordered)
+    return {
+        "count": count,
+        "total": total,
+        "min": ordered[0],
+        "max": ordered[-1],
+        "mean": total / count,
+        "p50": percentile(ordered, 50.0),
+        "p90": percentile(ordered, 90.0),
+        "p99": percentile(ordered, 99.0),
+    }
+
+
+class MetricsRegistry:
+    """Accumulates counters, gauges, and raw histogram observations.
+
+    ``locked=True`` guards every mutation with a lock for registries
+    shared across threads; the unlocked default is for single-threaded
+    hot paths such as transport delivery loops.
+    """
+
+    def __init__(self, locked: bool = False) -> None:
+        self._lock: Optional[threading.Lock] = threading.Lock() if locked else None
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, List[float]] = {}
+
+    def count(self, name: str, value: float = 1) -> None:
+        """Add ``value`` to the counter ``name``."""
+        if self._lock is None:
+            self._counters[name] = self._counters.get(name, 0) + value
+        else:
+            with self._lock:
+                self._counters[name] = self._counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to its latest value."""
+        if self._lock is None:
+            self._gauges[name] = value
+        else:
+            with self._lock:
+                self._gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Append one observation to histogram ``name``."""
+        if self._lock is None:
+            self._histograms.setdefault(name, []).append(value)
+        else:
+            with self._lock:
+                self._histograms.setdefault(name, []).append(value)
+
+    def counter_value(self, name: str, default: float = 0) -> float:
+        """Current value of counter ``name`` (``default`` if never counted)."""
+        return self._counters.get(name, default)
+
+    def gauge_value(self, name: str, default: float = 0.0) -> float:
+        """Latest value of gauge ``name`` (``default`` if never set)."""
+        return self._gauges.get(name, default)
+
+    def histogram_values(self, name: str) -> List[float]:
+        """Copy of the raw observations recorded for histogram ``name``."""
+        return list(self._histograms.get(name, []))
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's state into this one (gauges: theirs win)."""
+        snapshot = other.snapshot()
+        for name, value in snapshot["counters"].items():
+            self.count(name, value)
+        for name, value in snapshot["gauges"].items():
+            self.gauge(name, value)
+        for name in other._histograms:
+            for value in other.histogram_values(name):
+                self.observe(name, value)
+
+    def reset(self) -> None:
+        """Drop all recorded state."""
+        if self._lock is not None:
+            with self._lock:
+                self._counters.clear()
+                self._gauges.clear()
+                self._histograms.clear()
+        else:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Deterministic, JSON-ready view: sorted names, summarized histograms."""
+        if self._lock is not None:
+            with self._lock:
+                counters = dict(self._counters)
+                gauges = dict(self._gauges)
+                histograms = {name: list(vals) for name, vals in self._histograms.items()}
+        else:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = {name: list(vals) for name, vals in self._histograms.items()}
+        return {
+            "counters": {name: counters[name] for name in sorted(counters)},
+            "gauges": {name: gauges[name] for name in sorted(gauges)},
+            "histograms": {
+                name: summarize_values(histograms[name]) for name in sorted(histograms)
+            },
+        }

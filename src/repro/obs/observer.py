@@ -1,0 +1,119 @@
+"""Context-local observer protocol with a zero-overhead no-op default.
+
+Instrumented code calls :func:`current_observer` and reports spans and
+metrics against whatever observer is installed in the current context.
+The default :data:`NULL_OBSERVER` discards everything; installing a
+:class:`repro.obs.trace.TracingObserver` via :func:`use_observer` turns
+the same call sites into a recorded trace.
+
+Observers must never influence the computation they watch: they may read
+the wall clock and accumulate counters, but they never draw from RNG
+streams or mutate the objects passed through instrumented code.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from contextvars import ContextVar
+from typing import Iterator, Optional
+
+
+class _NullSpan:
+    """Span handle that records nothing."""
+
+    __slots__ = ()
+
+    def set_attrs(self, **attrs: object) -> None:
+        """Discard span attributes."""
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _NullActivation:
+    """Context manager returned by :meth:`Observer.activate` on the no-op."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "Observer":
+        return NULL_OBSERVER
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+
+_NULL_ACTIVATION = _NullActivation()
+
+
+class Observer:
+    """No-op observability sink; subclasses record spans and metrics.
+
+    The base class is also the null implementation: every method returns
+    a shared do-nothing object, so instrumentation under the default
+    observer costs a context-variable read and an attribute call.
+    """
+
+    enabled: bool = False
+
+    def span(self, name: str, **attrs: object) -> _NullSpan:
+        """Open a span; use as a context manager around the timed region."""
+        return _NULL_SPAN
+
+    def count(self, name: str, value: int = 1) -> None:
+        """Increment a counter."""
+
+    def gauge(self, name: str, value: float) -> None:
+        """Record the latest value of a gauge."""
+
+    def observe(self, name: str, value: float) -> None:
+        """Add one observation to a histogram."""
+
+    def current_span_id(self) -> Optional[int]:
+        """Return the id of the innermost open span, if any."""
+        return None
+
+    def activate(self, parent: Optional[int] = None) -> _NullActivation:
+        """Install this observer in the current context (for worker threads).
+
+        ``contextvars`` do not propagate into thread-pool workers, so
+        callers capture the observer and a parent span id on the
+        submitting thread and re-enter both inside the worker with
+        ``with obs.activate(parent): ...``.
+        """
+        return _NULL_ACTIVATION
+
+
+NULL_OBSERVER = Observer()
+
+_OBSERVER: ContextVar[Observer] = ContextVar("repro_observer", default=NULL_OBSERVER)
+
+
+def current_observer() -> Observer:
+    """Return the observer installed in the current context."""
+    return _OBSERVER.get()
+
+
+@contextlib.contextmanager
+def use_observer(observer: Observer) -> Iterator[Observer]:
+    """Install ``observer`` for the duration of the ``with`` block."""
+    token = _OBSERVER.set(observer)
+    try:
+        yield observer
+    finally:
+        _OBSERVER.reset(token)
+
+
+def _install(observer: Observer):
+    """Set the context observer and return the reset token (internal)."""
+    return _OBSERVER.set(observer)
+
+
+def _uninstall(token) -> None:
+    """Reset the context observer from a token returned by :func:`_install`."""
+    _OBSERVER.reset(token)

@@ -1,0 +1,72 @@
+"""Human-readable summaries of ``repro.trace/v1`` files."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.obs.trace import TraceData, read_trace
+from repro.reporting import render_table
+
+
+def _span_table(trace: TraceData) -> str:
+    totals: Dict[str, Dict[str, float]] = {}
+    for span in trace.spans:
+        entry = totals.setdefault(span.name, {"count": 0, "total_s": 0.0, "max_s": 0.0})
+        entry["count"] += 1
+        entry["total_s"] += span.duration_s
+        entry["max_s"] = max(entry["max_s"], span.duration_s)
+    rows = []
+    for name in sorted(totals, key=lambda key: (-totals[key]["total_s"], key)):
+        entry = totals[name]
+        rows.append(
+            [
+                name,
+                int(entry["count"]),
+                f"{entry['total_s']:.6f}",
+                f"{entry['total_s'] / entry['count']:.6f}",
+                f"{entry['max_s']:.6f}",
+            ]
+        )
+    return render_table(["span", "count", "total_s", "mean_s", "max_s"], rows)
+
+
+def summarize_trace(trace: TraceData) -> str:
+    """Render per-span timing and metric tables for a parsed trace."""
+    sections: List[str] = []
+    scenario = trace.header.get("scenario")
+    title = f"trace summary ({scenario})" if scenario else "trace summary"
+    sections.append(title)
+    if trace.spans:
+        sections.append(_span_table(trace))
+    else:
+        sections.append("(no spans recorded)")
+    if trace.counters:
+        rows = [[name, trace.counters[name]] for name in sorted(trace.counters)]
+        sections.append(render_table(["counter", "value"], rows))
+    if trace.gauges:
+        rows = [[name, trace.gauges[name]] for name in sorted(trace.gauges)]
+        sections.append(render_table(["gauge", "value"], rows))
+    if trace.histograms:
+        rows = []
+        for name in sorted(trace.histograms):
+            summary = trace.histograms[name]
+            rows.append(
+                [
+                    name,
+                    int(summary["count"]),
+                    f"{summary['mean']:.6f}",
+                    f"{summary['p50']:.6f}",
+                    f"{summary['p90']:.6f}",
+                    f"{summary['p99']:.6f}",
+                    f"{summary['max']:.6f}",
+                ]
+            )
+        sections.append(
+            render_table(["histogram", "count", "mean", "p50", "p90", "p99", "max"], rows)
+        )
+    return "\n\n".join(sections)
+
+
+def summarize_trace_file(path) -> str:
+    """Read, validate, and summarize the trace file at ``path``."""
+    return summarize_trace(read_trace(path))

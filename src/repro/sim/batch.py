@@ -24,6 +24,7 @@ import numpy as np
 from repro.channels.state import ChannelState
 from repro.core.policies import Policy
 from repro.graph.extended import ExtendedConflictGraph
+from repro.obs import current_observer
 from repro.sim.backends import (
     ExecutionBackend,
     ProcessBackend,
@@ -270,38 +271,52 @@ class BatchSimulator:
             self._seed, replications, first=first_replication
         )
         indices = range(first_replication, first_replication + replications)
-        if isinstance(executor, ProcessBackend):
-            ensure_picklable(
-                policy_factory, f"the policy factory {policy_factory!r}"
-            )
-            payloads = [
-                (
-                    self._graph,
-                    self._channels,
-                    self._timing,
-                    self._optimal_value,
-                    child,
-                    policy_factory,
-                    index,
-                    num_rounds,
+        obs = current_observer()
+        with obs.span(
+            "sim.batch", replications=replications, num_rounds=num_rounds
+        ):
+            # Observers are context-local; thread-pool workers start from a
+            # fresh context, so capture the observer and the batch span here
+            # and re-enter both inside the worker.  The process backend runs
+            # its replications untraced (observers do not cross pickling
+            # boundaries).
+            parent_span = obs.current_span_id()
+            if isinstance(executor, ProcessBackend):
+                ensure_picklable(
+                    policy_factory, f"the policy factory {policy_factory!r}"
                 )
-                for child, index in zip(children, indices)
-            ]
-            results = executor.map(_run_replication_payload, payloads, jobs)
-        else:
+                payloads = [
+                    (
+                        self._graph,
+                        self._channels,
+                        self._timing,
+                        self._optimal_value,
+                        child,
+                        policy_factory,
+                        index,
+                        num_rounds,
+                    )
+                    for child, index in zip(children, indices)
+                ]
+                results = executor.map(_run_replication_payload, payloads, jobs)
+            else:
 
-            def run_one(index: int) -> SimulationResult:
-                policy = policy_factory(index)
-                simulator = Simulator(
-                    self._graph,
-                    self._channels,
-                    timing=self._timing,
-                    optimal_value=self._optimal_value,
-                    rng=np.random.default_rng(children[index - first_replication]),
-                )
-                return simulator.run(policy, num_rounds)
+                def run_one(index: int) -> SimulationResult:
+                    with obs.activate(parent_span):
+                        with obs.span("sim.replication", replication=index):
+                            policy = policy_factory(index)
+                            simulator = Simulator(
+                                self._graph,
+                                self._channels,
+                                timing=self._timing,
+                                optimal_value=self._optimal_value,
+                                rng=np.random.default_rng(
+                                    children[index - first_replication]
+                                ),
+                            )
+                            return simulator.run(policy, num_rounds)
 
-            results = executor.map(run_one, list(indices), jobs)
+                results = executor.map(run_one, list(indices), jobs)
         return BatchResult(policy_name=results[0].policy_name, results=results)
 
 

@@ -36,6 +36,7 @@ from repro.dynamics.events import EventSchedule
 from repro.dynamics.graph import index_frame
 from repro.mwis.base import MWISSolver
 from repro.mwis.local import solve_local_mwis
+from repro.obs import current_observer
 from repro.sim.timing import TimingConfig
 
 __all__ = ["DynamicRoundRecord", "EventBatchRecord", "DynamicRunResult", "DynamicSimulator"]
@@ -266,57 +267,75 @@ class DynamicSimulator:
         self._consumed = True
         result = DynamicRunResult(policy_name=policy.name)
         optimal_value = self._optimal_value()
-        for round_index in range(1, num_rounds + 1):
-            started_at = time.perf_counter()
-            events = self._schedule.events_for_round(round_index)
-            report = None
-            if events:
-                report = self._engine.apply_events(events)
-                optimal_value = self._optimal_value()
-            solves_before = self._total_solves()
-            strategy = policy.select_strategy(round_index)
-            self._validate_strategy(strategy)
-            # The protocol builds a fresh message network per decision, so
-            # the communication counters are already per-round quantities.
-            # A round in which the policy decided without running the
-            # protocol (epoch-based policies) costs nothing.
-            if self._total_solves() > solves_before:
-                mini_rounds, round_messages, round_deliveries = self._decision_costs()
-            else:
-                mini_rounds, round_messages, round_deliveries = 0, 0, 0
-            arms = strategy.arm_array(self._index_graph)
-            values = self._channels.sample_arm_array(arms, self._rng)
-            policy.observe_arms(round_index, strategy, arms, values)
-            expected_reward = self._channels.expected_reward_arms(arms)
-            record = DynamicRoundRecord(
-                round_index=round_index,
-                strategy=strategy,
-                expected_reward=expected_reward,
-                observed_reward=float(values.sum()),
-                active_nodes=self._engine.topology.num_active,
-                num_events=len(events),
-                mini_rounds=mini_rounds,
-                messages=round_messages,
-                deliveries=round_deliveries,
-                optimal_value=optimal_value,
-                duration_s=time.perf_counter() - started_at,
-            )
-            result.rounds.append(record)
-            if report is not None:
-                result.event_batches.append(
-                    EventBatchRecord(
-                        round_index=round_index,
-                        num_events=report.num_events,
-                        touched_vertices=report.touched_vertices,
-                        recomputed_neighborhoods=report.recomputed_neighborhoods,
-                        active_nodes=report.active_nodes,
-                        num_edges=report.num_edges,
-                        reconvergence_mini_rounds=mini_rounds,
-                        messages=round_messages,
-                        deliveries=round_deliveries,
-                    )
-                )
+        obs = current_observer()
+        with obs.span("sim.dynamic_run", policy=policy.name, num_rounds=num_rounds):
+            self._run_rounds(policy, num_rounds, result, optimal_value, obs)
         return result
+
+    def _run_rounds(self, policy, num_rounds, result, optimal_value, obs) -> None:
+        for round_index in range(1, num_rounds + 1):
+            with obs.span("sim.round", round=round_index):
+                started_at = time.perf_counter()
+                events = self._schedule.events_for_round(round_index)
+                report = None
+                if events:
+                    with obs.span(
+                        "dynamics.apply_events",
+                        round=round_index,
+                        num_events=len(events),
+                    ):
+                        report = self._engine.apply_events(events)
+                        optimal_value = self._optimal_value()
+                    obs.count("dynamics.events_applied", len(events))
+                solves_before = self._total_solves()
+                decision_started = time.perf_counter()
+                strategy = policy.select_strategy(round_index)
+                obs.observe(
+                    "sim.select_strategy_s", time.perf_counter() - decision_started
+                )
+                self._validate_strategy(strategy)
+                # The protocol builds a fresh message network per decision, so
+                # the communication counters are already per-round quantities.
+                # A round in which the policy decided without running the
+                # protocol (epoch-based policies) costs nothing.
+                if self._total_solves() > solves_before:
+                    mini_rounds, round_messages, round_deliveries = (
+                        self._decision_costs()
+                    )
+                else:
+                    mini_rounds, round_messages, round_deliveries = 0, 0, 0
+                arms = strategy.arm_array(self._index_graph)
+                values = self._channels.sample_arm_array(arms, self._rng)
+                policy.observe_arms(round_index, strategy, arms, values)
+                expected_reward = self._channels.expected_reward_arms(arms)
+                record = DynamicRoundRecord(
+                    round_index=round_index,
+                    strategy=strategy,
+                    expected_reward=expected_reward,
+                    observed_reward=float(values.sum()),
+                    active_nodes=self._engine.topology.num_active,
+                    num_events=len(events),
+                    mini_rounds=mini_rounds,
+                    messages=round_messages,
+                    deliveries=round_deliveries,
+                    optimal_value=optimal_value,
+                    duration_s=time.perf_counter() - started_at,
+                )
+                result.rounds.append(record)
+                if report is not None:
+                    result.event_batches.append(
+                        EventBatchRecord(
+                            round_index=round_index,
+                            num_events=report.num_events,
+                            touched_vertices=report.touched_vertices,
+                            recomputed_neighborhoods=report.recomputed_neighborhoods,
+                            active_nodes=report.active_nodes,
+                            num_edges=report.num_edges,
+                            reconvergence_mini_rounds=mini_rounds,
+                            messages=round_messages,
+                            deliveries=round_deliveries,
+                        )
+                    )
 
     # ------------------------------------------------------------------
     # Internals

@@ -26,6 +26,7 @@ from repro.core.policies import Policy
 from repro.core.regret import RegretTracker
 from repro.core.strategy import Strategy
 from repro.graph.extended import ExtendedConflictGraph
+from repro.obs import current_observer
 from repro.sim.results import RoundRecord, SimulationResult
 from repro.sim.timing import TimingConfig
 
@@ -93,13 +94,19 @@ class Simulator:
             optimal_value=self._optimal_value, theta=self._timing.theta
         )
         result = SimulationResult(policy_name=policy.name, tracker=tracker)
-        for round_index in range(1, num_rounds + 1):
-            started_at = time.perf_counter()
-            strategy = policy.select_strategy(round_index)
-            self._validate_strategy(strategy)
-            record = self._play_round(policy, round_index, strategy, started_at)
-            result.rounds.append(record)
-            tracker.record(record.expected_reward, record.observed_reward)
+        obs = current_observer()
+        with obs.span("sim.run", policy=policy.name, num_rounds=num_rounds):
+            for round_index in range(1, num_rounds + 1):
+                with obs.span("sim.round", round=round_index):
+                    started_at = time.perf_counter()
+                    strategy = policy.select_strategy(round_index)
+                    obs.observe(
+                        "sim.select_strategy_s", time.perf_counter() - started_at
+                    )
+                    self._validate_strategy(strategy)
+                    record = self._play_round(policy, round_index, strategy, started_at)
+                    result.rounds.append(record)
+                    tracker.record(record.expected_reward, record.observed_reward)
         return result
 
     # ------------------------------------------------------------------

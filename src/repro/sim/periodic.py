@@ -20,6 +20,7 @@ The experiment of Fig. 8 tracks the running averages of both quantities for
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -29,6 +30,7 @@ from repro.channels.state import ChannelState
 from repro.core.policies import Policy
 from repro.core.strategy import Strategy
 from repro.graph.extended import ExtendedConflictGraph
+from repro.obs import current_observer
 from repro.sim.metrics import running_average
 from repro.sim.timing import TimingConfig
 
@@ -136,43 +138,56 @@ class PeriodicSimulator:
         period_time = y * t_a
         estimation_scale = ((y - 1) * t_a + t_d) / period_time
 
-        for period in range(1, num_periods + 1):
-            decision_slot = (period - 1) * y + 1
-            strategy = policy.select_strategy(decision_slot)
-            if not strategy.is_feasible(self._graph):
-                raise RuntimeError(
-                    f"policy produced an infeasible strategy: {strategy!r}"
-                )
-            arms = strategy.arm_array(self._graph)
-            estimated_weight = self._estimated_strategy_weight(
-                policy, decision_slot, arms
-            )
-            weighted_observed = 0.0
-            for slot_offset in range(y):
-                slot_index = decision_slot + slot_offset
-                values = self._channels.sample_arm_array(arms, self._rng)
-                slot_reward = float(values.sum())
-                # First slot of the period loses t_s to the strategy decision.
-                slot_weight = t_d if slot_offset == 0 else t_a
-                weighted_observed += slot_reward * slot_weight
-                policy.observe_arms(slot_index, strategy, arms, values)
-            actual_throughput = weighted_observed / period_time
-            expected_reward = self._channels.expected_reward_arms(arms)
-            expected_throughput = expected_reward * estimation_scale
-            estimated_throughput = (
-                estimated_weight * estimation_scale
-                if estimated_weight is not None
-                else float("nan")
-            )
-            result.records.append(
-                PeriodRecord(
-                    period_index=period,
-                    strategy=strategy,
-                    actual_throughput=actual_throughput,
-                    estimated_throughput=estimated_throughput,
-                    expected_throughput=expected_throughput,
-                )
-            )
+        obs = current_observer()
+        with obs.span(
+            "sim.periodic_run",
+            policy=policy.name,
+            period_slots=y,
+            num_periods=num_periods,
+        ):
+            for period in range(1, num_periods + 1):
+                with obs.span("sim.period", period=period):
+                    decision_slot = (period - 1) * y + 1
+                    decision_started = time.perf_counter()
+                    strategy = policy.select_strategy(decision_slot)
+                    obs.observe(
+                        "sim.select_strategy_s",
+                        time.perf_counter() - decision_started,
+                    )
+                    if not strategy.is_feasible(self._graph):
+                        raise RuntimeError(
+                            f"policy produced an infeasible strategy: {strategy!r}"
+                        )
+                    arms = strategy.arm_array(self._graph)
+                    estimated_weight = self._estimated_strategy_weight(
+                        policy, decision_slot, arms
+                    )
+                    weighted_observed = 0.0
+                    for slot_offset in range(y):
+                        slot_index = decision_slot + slot_offset
+                        values = self._channels.sample_arm_array(arms, self._rng)
+                        slot_reward = float(values.sum())
+                        # First slot of the period loses t_s to the strategy decision.
+                        slot_weight = t_d if slot_offset == 0 else t_a
+                        weighted_observed += slot_reward * slot_weight
+                        policy.observe_arms(slot_index, strategy, arms, values)
+                    actual_throughput = weighted_observed / period_time
+                    expected_reward = self._channels.expected_reward_arms(arms)
+                    expected_throughput = expected_reward * estimation_scale
+                    estimated_throughput = (
+                        estimated_weight * estimation_scale
+                        if estimated_weight is not None
+                        else float("nan")
+                    )
+                    result.records.append(
+                        PeriodRecord(
+                            period_index=period,
+                            strategy=strategy,
+                            actual_throughput=actual_throughput,
+                            estimated_throughput=estimated_throughput,
+                            expected_throughput=expected_throughput,
+                        )
+                    )
         return result
 
     def _estimated_strategy_weight(

@@ -24,6 +24,7 @@ from repro.distributed.ptas import DistributedRobustPTAS
 from repro.graph.extended import ExtendedConflictGraph
 from repro.graph.neighborhoods import r_hop_neighborhood
 from repro.mwis.greedy import GreedyMWISSolver
+from repro.obs import current_observer
 from repro.reporting import render_series, render_table
 from repro.sim.batch import child_seed_sequences
 from repro.sim.timing import TimingConfig
@@ -180,17 +181,26 @@ def run_scenario(spec: ScenarioSpec) -> ExperimentResult:
     """Run one scenario and return its :class:`ExperimentResult` envelope."""
     spec.validate(spec.name)
     started_at = time.perf_counter()
-    if spec.dynamics is not None:
-        result = _run_dynamic(spec)
-    elif spec.schedule.mode == "per-round":
-        result = _run_per_round(spec)
-    elif spec.schedule.mode == "periodic":
-        result = _run_periodic(spec)
-    elif spec.schedule.mode == "protocol":
-        result = _run_protocol(spec)
-    else:  # pragma: no cover - validate() rejects unknown modes
-        raise SpecError(f"{spec.name}: unhandled schedule mode {spec.schedule.mode!r}")
+    obs = current_observer()
+    with obs.span("run", scenario=spec.name) as run_span:
+        if spec.dynamics is not None:
+            result = _run_dynamic(spec)
+        elif spec.schedule.mode == "per-round":
+            result = _run_per_round(spec)
+        elif spec.schedule.mode == "periodic":
+            result = _run_periodic(spec)
+        elif spec.schedule.mode == "protocol":
+            result = _run_protocol(spec)
+        else:  # pragma: no cover - validate() rejects unknown modes
+            raise SpecError(
+                f"{spec.name}: unhandled schedule mode {spec.schedule.mode!r}"
+            )
+        run_span.set_attrs(mode=result.mode)
     result.wall_clock_s = time.perf_counter() - started_at
+    if obs.enabled:
+        # The observer rides along for in-process consumers (CLI trace
+        # export); artifacts never serialize, so envelopes stay identical.
+        result.artifacts["observability"] = obs
     return result
 
 
@@ -420,6 +430,11 @@ def _run_periodic(spec: ScenarioSpec) -> ExperimentResult:
         rep_seeds = _replication_seeds(
             spec.seed + period, spec.replication.replications
         )
+        # Context-local observers don't cross thread-pool workers; capture
+        # the submitting thread's observer and parent span and re-enter in
+        # each replication so spans nest under the scenario run.
+        obs = current_observer()
+        parent_span = obs.current_span_id()
 
         def run_replication(seed):
             # One fresh system per policy: every policy replays the same
@@ -428,6 +443,10 @@ def _run_periodic(spec: ScenarioSpec) -> ExperimentResult:
             # models additionally get a freshly materialized environment per
             # policy — their chain/cursor state would otherwise leak from
             # one policy's run into the next.
+            with obs.activate(parent_span):
+                return _run_policies(seed)
+
+        def _run_policies(seed):
             runs = {}
             for policy_spec in spec.policies:
                 policy_channels = channels
@@ -690,36 +709,43 @@ def _run_protocol(spec: ScenarioSpec) -> ExperimentResult:
         )
         telemetry: Dict[str, float] = {}
         fault_record: Dict[str, float] = {}
-        if faults_active:
-            run, fault_record, telemetry = _run_faulty_cell(
-                spec, decision, adjacency, weights, local_solver,
-                cell=(num_nodes, num_channels),
-            )
-            fault_reports[label] = fault_record
-        elif spec.transport.kind == "simulated":
-            protocol = DistributedRobustPTAS(
-                adjacency, r=decision.r, local_solver=local_solver
-            )
-            run = protocol.run(weights)
-        else:
-            # Non-simulated transports share the protocol's neighbourhood
-            # tables so k-hop routing is computed once per cell.
-            hoods = _protocol_neighborhoods(adjacency, decision.r)
-            transport = spec.transport.build(
-                adjacency, run_seed=spec.seed, precomputed_neighborhoods=hoods
-            )
-            try:
+        with current_observer().span(
+            "run.cell", cell=label, num_vertices=extended.num_vertices
+        ) as cell_span:
+            if faults_active:
+                run, fault_record, telemetry = _run_faulty_cell(
+                    spec, decision, adjacency, weights, local_solver,
+                    cell=(num_nodes, num_channels),
+                )
+                fault_reports[label] = fault_record
+            elif spec.transport.kind == "simulated":
                 protocol = DistributedRobustPTAS(
-                    adjacency,
-                    r=decision.r,
-                    local_solver=local_solver,
-                    precomputed_neighborhoods=hoods,
-                    transport=transport,
+                    adjacency, r=decision.r, local_solver=local_solver
                 )
                 run = protocol.run(weights)
-                telemetry = _transport_telemetry(spec, transport)
-            finally:
-                transport.close()
+            else:
+                # Non-simulated transports share the protocol's neighbourhood
+                # tables so k-hop routing is computed once per cell.
+                hoods = _protocol_neighborhoods(adjacency, decision.r)
+                transport = spec.transport.build(
+                    adjacency, run_seed=spec.seed, precomputed_neighborhoods=hoods
+                )
+                try:
+                    protocol = DistributedRobustPTAS(
+                        adjacency,
+                        r=decision.r,
+                        local_solver=local_solver,
+                        precomputed_neighborhoods=hoods,
+                        transport=transport,
+                    )
+                    run = protocol.run(weights)
+                    telemetry = _transport_telemetry(spec, transport)
+                finally:
+                    transport.close()
+            cell_span.set_attrs(
+                mini_rounds=run.num_mini_rounds,
+                total_messages=run.costs.communication.total_messages,
+            )
         protocol_runs[label] = run
         trajectory = list(run.weight_trajectory())
         if spec.schedule.max_mini_rounds > 0:

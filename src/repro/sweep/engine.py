@@ -27,8 +27,10 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
 
+from repro.obs import current_observer
+from repro.obs.metrics import summarize_values
 from repro.reporting import render_table
-from repro.sim.backends import ExecutionBackend, resolve_backend
+from repro.sim.backends import ExecutionBackend, ProcessBackend, resolve_backend
 from repro.spec.canon import canonical_spec, unit_hash, unit_key
 from repro.spec.runner import ExperimentResult, merge_replication_results
 from repro.spec.scenario import ScenarioSpec, SpecError
@@ -131,6 +133,10 @@ class SweepResult:
     #: Store entries that failed validation and were recomputed.
     corrupt_units: int = 0
     wall_clock_s: float = 0.0
+    #: Per-backend timing summary of the units *computed* this run
+    #: (``{backend: {count, total_s, mean_s, p50_s, p90_s, p99_s, max_s}}``;
+    #: empty when every unit was served from the store).
+    unit_timing: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     @property
     def num_points(self) -> int:
@@ -160,6 +166,15 @@ class SweepResult:
             "cached": self.cached_units,
             "corrupt": self.corrupt_units,
             "wall_clock_s": self.wall_clock_s,
+            "counters": {
+                "cache_hit": self.cached_units,
+                "cache_miss": self.computed_units,
+                "self_heal": self.corrupt_units,
+            },
+            "unit_timing": {
+                backend: dict(timing)
+                for backend, timing in sorted(self.unit_timing.items())
+            },
         }
 
     def to_dict(self) -> Dict[str, object]:
@@ -202,60 +217,107 @@ def run_sweep(
         store = ResultStore(store)
     executor = resolve_backend(backend, default="serial")
     started_at = time.perf_counter()
+    obs = current_observer()
 
-    points = plan.points()
-    units_by_point: Dict[int, List[SweepUnit]] = {
-        point.index: plan_units(point) for point in points
-    }
-    # Deduplicate by content hash: a grid over the replication count (or
-    # repeated points) shares units, which must compute exactly once.
-    unique: Dict[str, SweepUnit] = {}
-    for units in units_by_point.values():
-        for unit in units:
-            unique.setdefault(unit.hash, unit)
+    with obs.span(
+        "sweep.run", plan=plan.name, backend=executor.name, jobs=jobs
+    ) as sweep_span:
+        points = plan.points()
+        units_by_point: Dict[int, List[SweepUnit]] = {
+            point.index: plan_units(point) for point in points
+        }
+        # Deduplicate by content hash: a grid over the replication count (or
+        # repeated points) shares units, which must compute exactly once.
+        unique: Dict[str, SweepUnit] = {}
+        for units in units_by_point.values():
+            for unit in units:
+                unique.setdefault(unit.hash, unit)
 
-    results: Dict[str, Dict[str, object]] = {}
-    corrupt = 0
-    misses: List[SweepUnit] = []
-    for key_hash, unit in unique.items():
-        if store is not None:
-            if key_hash in store:
-                cached = store.load(key_hash, strict=False)
-                if cached is not None:
-                    results[key_hash] = cached
-                    continue
-                corrupt += 1  # present but invalid: recompute and overwrite
-            misses.append(unit)
-        else:
-            misses.append(unit)
-
-    if misses:
-        payloads = [unit.payload() for unit in misses]
-        computed = executor.map(execute_unit, payloads, jobs)
-        for unit, result_dict in zip(misses, computed):
-            results[unit.hash] = result_dict
+        results: Dict[str, Dict[str, object]] = {}
+        corrupt = 0
+        misses: List[SweepUnit] = []
+        for key_hash, unit in unique.items():
             if store is not None:
-                store.put(
-                    unit.hash, unit_key(unit.spec, unit.replication), result_dict
-                )
+                if key_hash in store:
+                    cached = store.load(key_hash, strict=False)
+                    if cached is not None:
+                        results[key_hash] = cached
+                        obs.count("sweep.units.cache_hit")
+                        continue
+                    corrupt += 1  # present but invalid: recompute and overwrite
+                    obs.count("sweep.units.self_heal")
+                misses.append(unit)
+            else:
+                misses.append(unit)
+        obs.count("sweep.units.cache_miss", len(misses))
+        obs.gauge("sweep.jobs", jobs)
+        obs.gauge("sweep.queue_depth", len(misses))
 
-    computed_hashes = {unit.hash for unit in misses}
-    outcomes: List[PointOutcome] = []
-    for point in points:
-        units = units_by_point[point.index]
-        hashes = [unit.hash for unit in units]
-        unit_results = [
-            ExperimentResult.from_dict(results[key_hash]) for key_hash in hashes
-        ]
-        merged = _assemble_point(point, units, unit_results)
-        outcomes.append(
-            PointOutcome(
-                point=point,
-                result=merged,
-                unit_hashes=hashes,
-                cached_units=sum(1 for h in hashes if h not in computed_hashes),
-                computed_units=sum(1 for h in hashes if h in computed_hashes),
+        unit_timing: Dict[str, Dict[str, float]] = {}
+        if misses:
+            payloads = [unit.payload() for unit in misses]
+            if isinstance(executor, ProcessBackend):
+                # Worker processes run untraced: observers do not cross
+                # pickling boundaries, and ``execute_unit`` must stay a plain
+                # module-level callable.
+                computed = executor.map(execute_unit, payloads, jobs)
+            else:
+                parent_span = obs.current_span_id()
+
+                def traced_execute(payload):
+                    spec_dict, replication = payload
+                    with obs.activate(parent_span):
+                        with obs.span(
+                            "sweep.unit",
+                            scenario=spec_dict.get("name"),
+                            replication=replication,
+                        ):
+                            return execute_unit(payload)
+
+                computed = executor.map(traced_execute, payloads, jobs)
+            unit_wall_clocks = []
+            for unit, result_dict in zip(misses, computed):
+                results[unit.hash] = result_dict
+                wall_clock = float(result_dict.get("wall_clock_s", 0.0))
+                unit_wall_clocks.append(wall_clock)
+                obs.observe("sweep.unit_wall_clock_s", wall_clock)
+                if store is not None:
+                    store.put(
+                        unit.hash, unit_key(unit.spec, unit.replication), result_dict
+                    )
+            summary = summarize_values(unit_wall_clocks)
+            unit_timing[executor.name] = {
+                "count": summary["count"],
+                "total_s": summary["total"],
+                "mean_s": summary["mean"],
+                "p50_s": summary["p50"],
+                "p90_s": summary["p90"],
+                "p99_s": summary["p99"],
+                "max_s": summary["max"],
+            }
+
+        computed_hashes = {unit.hash for unit in misses}
+        outcomes: List[PointOutcome] = []
+        for point in points:
+            units = units_by_point[point.index]
+            hashes = [unit.hash for unit in units]
+            unit_results = [
+                ExperimentResult.from_dict(results[key_hash]) for key_hash in hashes
+            ]
+            merged = _assemble_point(point, units, unit_results)
+            outcomes.append(
+                PointOutcome(
+                    point=point,
+                    result=merged,
+                    unit_hashes=hashes,
+                    cached_units=sum(1 for h in hashes if h not in computed_hashes),
+                    computed_units=sum(1 for h in hashes if h in computed_hashes),
+                )
             )
+        sweep_span.set_attrs(
+            points=len(points),
+            computed=len(computed_hashes),
+            cached=len(unique) - len(computed_hashes),
         )
 
     return SweepResult(
@@ -267,6 +329,7 @@ def run_sweep(
         cached_units=len(unique) - len(computed_hashes),
         corrupt_units=corrupt,
         wall_clock_s=time.perf_counter() - started_at,
+        unit_timing=unit_timing,
     )
 
 

@@ -1,0 +1,97 @@
+"""The metrics registry and its deterministic summaries."""
+
+import pytest
+
+from repro.obs import MetricsRegistry, percentile
+from repro.obs.metrics import summarize_values
+
+
+class TestPercentile:
+    def test_nearest_rank_on_a_known_series(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]
+        assert percentile(values, 50) == 5.0
+        assert percentile(values, 90) == 9.0
+        assert percentile(values, 99) == 10.0
+        assert percentile(values, 100) == 10.0
+
+    def test_single_value(self):
+        assert percentile([42.0], 50) == 42.0
+        assert percentile([42.0], 99) == 42.0
+
+    def test_rejects_empty_input(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+
+class TestSummarizeValues:
+    def test_summary_fields(self):
+        summary = summarize_values([3.0, 1.0, 2.0])
+        assert summary["count"] == 3
+        assert summary["total"] == 6.0
+        assert summary["min"] == 1.0
+        assert summary["max"] == 3.0
+        assert summary["mean"] == 2.0
+        assert summary["p50"] == 2.0
+        assert summary["p99"] == 3.0
+
+
+class TestMetricsRegistry:
+    def test_counters_accumulate(self):
+        registry = MetricsRegistry()
+        registry.count("a")
+        registry.count("a", 4)
+        assert registry.counter_value("a") == 5
+        assert registry.counter_value("missing") == 0
+
+    def test_gauges_keep_the_last_value(self):
+        registry = MetricsRegistry()
+        registry.gauge("depth", 3)
+        registry.gauge("depth", 9)
+        assert registry.gauge_value("depth") == 9
+
+    def test_histograms_keep_raw_observations(self):
+        registry = MetricsRegistry()
+        registry.observe("lat", 0.2)
+        registry.observe("lat", 0.1)
+        assert registry.histogram_values("lat") == [0.2, 0.1]
+
+    def test_snapshot_is_sorted_and_summarized(self):
+        registry = MetricsRegistry()
+        registry.count("b")
+        registry.count("a", 2)
+        registry.gauge("g", 1.5)
+        registry.observe("h", 1.0)
+        registry.observe("h", 3.0)
+        snapshot = registry.snapshot()
+        assert list(snapshot["counters"]) == ["a", "b"]
+        assert snapshot["gauges"] == {"g": 1.5}
+        assert snapshot["histograms"]["h"]["count"] == 2
+        assert snapshot["histograms"]["h"]["mean"] == 2.0
+
+    def test_merge_combines_both_registries(self):
+        left, right = MetricsRegistry(), MetricsRegistry()
+        left.count("a", 1)
+        right.count("a", 2)
+        right.gauge("g", 5)
+        right.observe("h", 1.0)
+        left.merge(right)
+        assert left.counter_value("a") == 3
+        assert left.gauge_value("g") == 5
+        assert left.histogram_values("h") == [1.0]
+
+    def test_reset_clears_everything(self):
+        registry = MetricsRegistry()
+        registry.count("a")
+        registry.gauge("g", 1)
+        registry.observe("h", 1.0)
+        registry.reset()
+        assert registry.counter_value("a") == 0
+        assert registry.gauge_value("g") == 0.0
+        assert registry.histogram_values("h") == []
+
+    def test_locked_registry_behaves_identically(self):
+        registry = MetricsRegistry(locked=True)
+        registry.count("a", 2)
+        registry.observe("h", 1.0)
+        assert registry.counter_value("a") == 2
+        assert registry.snapshot()["histograms"]["h"]["count"] == 1

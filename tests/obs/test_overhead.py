@@ -1,0 +1,38 @@
+"""The no-op observer must be cheap enough to leave permanently inlined.
+
+These are sanity bounds with huge margins (CI machines are noisy); the
+committed benchmark (``benchmarks/test_bench_obs.py``) tracks the precise
+numbers over time.
+"""
+
+import time
+
+from repro.obs import NULL_OBSERVER, current_observer
+
+
+def test_noop_span_costs_well_under_ten_microseconds():
+    iterations = 50_000
+    observer = current_observer()
+    started = time.perf_counter()
+    for index in range(iterations):
+        with observer.span("hot.loop", index=index):
+            pass
+    elapsed = time.perf_counter() - started
+    assert elapsed / iterations < 10e-6
+
+
+def test_noop_metrics_cost_well_under_ten_microseconds():
+    iterations = 50_000
+    started = time.perf_counter()
+    for index in range(iterations):
+        NULL_OBSERVER.count("hot.counter")
+        NULL_OBSERVER.observe("hot.histogram", 0.5)
+    elapsed = time.perf_counter() - started
+    assert elapsed / iterations < 10e-6
+
+
+def test_noop_observer_allocates_no_per_span_state():
+    # The null span is a shared singleton: a hot loop creates no garbage.
+    first = NULL_OBSERVER.span("a")
+    second = NULL_OBSERVER.span("b", attr=1)
+    assert first is second

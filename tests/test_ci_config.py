@@ -50,6 +50,7 @@ class TestWorkflow:
             "transport-smoke",
             "faults-smoke",
             "scale-smoke",
+            "obs-smoke",
             "docs",
         }
 
@@ -116,7 +117,7 @@ class TestWorkflow:
         assert baseline["schema"] == "repro.bench-trend/v1"
         groups = {record["group"] for record in baseline["benchmarks"]}
         # The gated benchmark groups must exist in the baseline.
-        assert {"solvers", "policies", "macro"} <= groups
+        assert {"solvers", "policies", "macro", "obs"} <= groups
 
     def test_macro_baseline_covers_both_scales(self):
         baseline = json.loads(
@@ -145,6 +146,34 @@ class TestWorkflow:
             and "--max-ratio 2.0" in command
             for command in commands
         ), "scale-smoke must gate the macro group against the baseline at 2x"
+
+    def test_obs_smoke_traces_both_transports_and_diffs_envelopes(self):
+        smoke = _load_workflow()["jobs"]["obs-smoke"]
+        commands = [step.get("run", "") for step in smoke["steps"]]
+        assert any(
+            "repro run fig6-smoke" in command
+            and "--trace" in command
+            and "transport.kind=asyncio" in command
+            for command in commands
+        ), "obs-smoke must record a trace over the asyncio transport"
+        assert any(
+            "read_trace" in command for command in commands
+        ), "obs-smoke must validate the trace files against repro.trace/v1"
+        assert any(
+            "tracing changed the result envelope" in command
+            for command in commands
+        ), "obs-smoke must diff traced envelopes against untraced twins"
+        assert any(
+            "repro trace summarize" in command for command in commands
+        ), "obs-smoke must render the recorded trace"
+
+    def test_benchmark_trend_gates_the_obs_group(self):
+        trend = _load_workflow()["jobs"]["benchmark-trend"]
+        commands = [step.get("run", "") for step in trend["steps"]]
+        assert any(
+            "repro.benchtrend check" in command and "--group obs" in command
+            for command in commands
+        ), "benchmark-trend must gate the observability microbenchmarks"
 
     def test_docs_job_runs_docscheck(self):
         docs = _load_workflow()["jobs"]["docs"]
