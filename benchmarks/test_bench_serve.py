@@ -1,0 +1,77 @@
+"""Serving-layer benchmarks (the ``serve`` trend group).
+
+The whole value proposition of ``repro serve`` is the warm path: answering
+a previously computed submission must cost an HTTP round trip, not a
+simulation.  Both benchmarks drive a real server over real sockets against
+a store warmed once at fixture setup:
+
+* ``test_cache_hit_submission_latency`` — one ``POST /v1/run`` per round;
+  the response must come back already ``done`` with zero computed units.
+* ``test_warm_requests_per_second`` — a burst of submissions plus result
+  fetches per round, the request mix of a dashboard polling a warm server;
+  requests/second falls out of the recorded mean.
+
+Both carry ``baseline.json`` entries gated by the benchtrend CI check, so
+a regression that puts simulation work (or accidental lock contention) on
+the cache-hit path fails the build.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import ServeClient, ServerThread, ServiceConfig
+from repro.spec import apply_overrides, get_scenario
+
+#: Requests issued per benchmark round by the throughput benchmark.
+BURST = 10
+
+
+@pytest.fixture(scope="module")
+def warm_server(tmp_path_factory):
+    """A freshly started server over a store that already holds the results.
+
+    The store is warmed through a *separate* server instance, so the one
+    under measurement serves pure restart-warm cache hits: it never
+    computes anything itself.
+    """
+    store = tmp_path_factory.mktemp("serve-bench") / "store"
+    config = ServiceConfig(store=str(store), backend="thread", jobs=2)
+    spec = apply_overrides(
+        get_scenario("fig7-smoke"),
+        {"schedule.num_rounds": 5, "replication.replications": 1},
+    ).to_dict()
+    with ServerThread(config) as warmer:
+        warm_client = ServeClient(warmer.host, warmer.port)
+        warm_client.wait(warm_client.submit_run(spec)["job"]["id"])
+    with ServerThread(config) as server:
+        client = ServeClient(server.host, server.port)
+        job_id = client.submit_run(spec)["job"]["id"]  # instant: all cached
+        yield server, client, spec, job_id
+
+
+def test_cache_hit_submission_latency(benchmark, warm_server):
+    _, client, spec, _ = warm_server
+
+    def submit():
+        return client.submit_run(spec)
+
+    response = benchmark(submit)
+    assert response["job"]["state"] == "done"
+    assert response["job"]["computed_units"] == 0
+    assert response["job"]["cached_units"] == 1
+
+
+def test_warm_requests_per_second(benchmark, warm_server):
+    _, client, spec, job_id = warm_server
+
+    def burst():
+        for _ in range(BURST // 2):
+            assert client.submit_run(spec)["job"]["state"] == "done"
+            assert client.result_bytes(job_id)
+
+    benchmark(burst)
+    stats = client.stats()
+    # The measured server never simulated: every unit came from the store.
+    assert "serve.units.computed" not in stats["counters"]
+    assert stats["counters"]["serve.units.cache_hit"] == 1

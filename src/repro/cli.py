@@ -27,6 +27,18 @@ work units on the chosen backend, and serves every already-computed unit
 from the content-addressed store in ``--store`` (default ``.repro-store``),
 so re-running a sweep is free and interrupted sweeps resume.
 
+The same store backs the results service (see ``docs/serving.md``)::
+
+    python -m repro serve --store .repro-store --jobs 4   # long-running server
+    python -m repro submit fig6-smoke --wait --json -     # client submission
+    python -m repro store verify --heal                   # offline CAS audit
+
+``serve`` answers ``POST /v1/run`` / ``/v1/sweep`` from the warm store
+(bit-identical to ``run``/``sweep`` envelopes), coalesces concurrent
+identical submissions, and enforces per-client quotas; ``submit`` is the
+matching client; ``store verify`` re-hashes and validates every stored
+object, pruning damage with ``--heal``.
+
 The legacy sub-commands remain as aliases that build specs internally::
 
     python -m repro fig6 [--paper]
@@ -315,6 +327,137 @@ def build_parser() -> argparse.ArgumentParser:
         "--paper", action="store_true", help="use the paper-scale networks"
     )
     complexity.add_argument("--seed", type=int, default=None, help="override the random seed")
+
+    serve = subparsers.add_parser(
+        "serve",
+        parents=[logging_parent],
+        help="serve cached scenario/sweep results over HTTP (see docs/serving.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8737,
+        help="bind port (default: 8737; 0 picks an ephemeral port)",
+    )
+    serve.add_argument(
+        "--store",
+        default=".repro-store",
+        metavar="DIR",
+        help="content-addressed results store directory (default: .repro-store)",
+    )
+    serve.add_argument(
+        "--backend",
+        choices=("serial", "thread", "process"),
+        default="process",
+        help="worker pool executing cache misses (default: process)",
+    )
+    serve.add_argument(
+        "--jobs", type=int, default=2, help="worker pool size (default: 2)"
+    )
+    serve.add_argument(
+        "--max-inflight-jobs",
+        type=int,
+        default=8,
+        help="per-client cap on simultaneously computing jobs (0 disables)",
+    )
+    serve.add_argument(
+        "--units-per-minute",
+        type=int,
+        default=3000,
+        help="per-client computed-unit budget per minute (0 disables)",
+    )
+    serve.add_argument(
+        "--trace",
+        dest="trace_path",
+        default=None,
+        metavar="PATH",
+        help="record a repro.trace/v1 trace of the server's spans/metrics "
+        "to PATH on shutdown",
+    )
+    serve.add_argument(
+        "--stats-json",
+        dest="stats_json_path",
+        default=None,
+        metavar="PATH",
+        help="write the final repro.serve-stats/v1 snapshot to PATH on shutdown",
+    )
+
+    submit = subparsers.add_parser(
+        "submit",
+        parents=[logging_parent],
+        help="submit a scenario or sweep to a running `repro serve` instance",
+    )
+    submit.add_argument(
+        "target",
+        help="registered scenario name, JSON spec file, or built-in sweep "
+        "plan name (plans submit as sweeps)",
+    )
+    submit.add_argument(
+        "--set",
+        action="append",
+        default=[],
+        dest="overrides",
+        metavar="KEY=VALUE",
+        help="override a spec field by dotted path before submitting",
+    )
+    submit.add_argument("--seed", type=int, default=None, help="override the scenario seed")
+    submit.add_argument(
+        "--grid",
+        action="append",
+        default=[],
+        dest="grid",
+        metavar="PATH=V1,V2,...",
+        help="submit a sweep of the target over these axes (repeatable)",
+    )
+    submit.add_argument("--host", default="127.0.0.1", help="server address (default: 127.0.0.1)")
+    submit.add_argument("--port", type=int, default=8737, help="server port (default: 8737)")
+    submit.add_argument(
+        "--token",
+        default=None,
+        help="API token identifying this client to the server's quotas",
+    )
+    submit.add_argument(
+        "--wait",
+        action="store_true",
+        help="follow the job's progress stream until it finishes",
+    )
+    submit.add_argument(
+        "--json",
+        dest="json_path",
+        default=None,
+        metavar="PATH",
+        help="write the served result envelope to PATH ('-' prints it); "
+        "implies --wait",
+    )
+
+    store_cmd = subparsers.add_parser(
+        "store", help="inspect and maintain the content-addressed results store"
+    )
+    store_sub = store_cmd.add_subparsers(dest="store_command", required=True)
+    verify = store_sub.add_parser(
+        "verify",
+        parents=[logging_parent],
+        help="audit every stored object (reparse, re-hash, validate)",
+    )
+    verify.add_argument(
+        "--store",
+        default=".repro-store",
+        metavar="DIR",
+        help="store directory to audit (default: .repro-store)",
+    )
+    verify.add_argument(
+        "--heal",
+        action="store_true",
+        help="delete corrupt and orphaned files (units recompute on demand)",
+    )
+    verify.add_argument(
+        "--json",
+        dest="json_path",
+        default=None,
+        metavar="PATH",
+        help="write the repro.store-audit/v1 report to PATH ('-' prints it)",
+    )
     return parser
 
 
@@ -617,6 +760,203 @@ def _run_complexity(args) -> str:
     return format_complexity(run_complexity(config))
 
 
+def _serve_command(args) -> str:
+    import asyncio
+    import signal
+
+    from repro.serve import QuotaConfig, ReproServer, ResultService, ServiceConfig
+
+    config = ServiceConfig(
+        store=args.store,
+        backend=args.backend,
+        jobs=args.jobs,
+        quota=QuotaConfig(
+            max_inflight_jobs=args.max_inflight_jobs,
+            units_per_minute=args.units_per_minute,
+        ),
+    )
+    observer = TracingObserver() if args.trace_path is not None else None
+    service = ResultService(config, observer=observer)
+
+    async def _serve() -> None:
+        loop = asyncio.get_running_loop()
+        shutdown = asyncio.Event()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, shutdown.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        server = ReproServer(service, host=args.host, port=args.port)
+        await server.start()
+        print(
+            f"repro serve: listening on http://{server.host}:{server.port} "
+            f"(store {args.store}, backend {args.backend} x{args.jobs}) -- "
+            "Ctrl-C drains and exits",
+            file=sys.stderr,
+            flush=True,
+        )
+        await shutdown.wait()
+        print("repro serve: draining...", file=sys.stderr, flush=True)
+        await server.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:  # pragma: no cover - second Ctrl-C
+        pass
+    stats = service.stats()
+    if args.stats_json_path is not None:
+        pathlib.Path(args.stats_json_path).write_text(
+            json.dumps(stats, indent=2) + "\n"
+        )
+        _LOG.info("wrote serve statistics to %s", args.stats_json_path)
+    if args.trace_path is not None:
+        write_trace(args.trace_path, observer, scenario="serve")
+        _LOG.info(
+            "wrote trace (%d spans) to %s", len(observer.spans()), args.trace_path
+        )
+    counters = stats["counters"]
+    return (
+        f"serve: {int(counters.get('serve.requests', 0))} request(s), "
+        f"{int(counters.get('serve.jobs.submitted', 0))} job(s), "
+        f"{int(counters.get('serve.units.cache_hit', 0))} cached / "
+        f"{int(counters.get('serve.units.computed', 0))} computed unit(s)"
+    )
+
+
+def _submit_payload(args):
+    """Build the submission: ``("run"|"sweep", payload)``."""
+    from repro.sweep import builtin_plans, parse_grid_items
+
+    if args.target in builtin_plans():
+        if args.grid or args.overrides or args.seed is not None:
+            raise SpecError(
+                f"submit: sweep plan {args.target!r} is a built-in preset; "
+                "--grid/--set/--seed only apply when submitting a scenario"
+            )
+        return "sweep", {"plan": args.target}
+    spec = _load_spec(args.target)
+    overrides = parse_set_items(args.overrides)
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    spec = apply_overrides(spec, overrides)
+    if args.grid:
+        grid = {
+            path: list(values)
+            for path, values in parse_grid_items(args.grid).items()
+        }
+        return "sweep", {
+            "base": spec.to_dict(),
+            "grid": grid,
+            "name": f"{spec.name}-sweep",
+        }
+    return "run", {"spec": spec.to_dict()}
+
+
+def _format_job(descriptor, base_url: str) -> str:
+    lines = [
+        f"job {descriptor['id']} ({descriptor['kind']} {descriptor['name']}): "
+        f"{descriptor['state']}",
+        f"  units: {descriptor['total_units']} total, "
+        f"{descriptor['cached_units']} cached, "
+        f"{descriptor['computed_units']} computed",
+        f"  result: {base_url}/v1/jobs/{descriptor['id']}/result",
+    ]
+    if descriptor.get("error"):
+        lines.insert(1, f"  error: {descriptor['error']}")
+    return "\n".join(lines)
+
+
+def _submit_command(args) -> str:
+    from repro.serve import ServeClient, ServeError
+
+    kind, payload = _submit_payload(args)
+    wait = args.wait or args.json_path is not None
+    client = ServeClient(args.host, args.port, token=args.token)
+    try:
+        if kind == "run":
+            response = client.submit_run(payload["spec"])
+        else:
+            response = client.submit_sweep(payload)
+        descriptor = response["job"]
+        _LOG.info(
+            "submitted job %s (%s, state %s)",
+            descriptor["id"], kind, descriptor["state"],
+        )
+        if wait and descriptor["state"] not in ("done", "failed"):
+            for name, event in client.events(descriptor["id"]):
+                if name == "progress":
+                    _LOG.info(
+                        "job %s: %s/%s unit(s)",
+                        descriptor["id"],
+                        event.get("completed_units"),
+                        event.get("total_units"),
+                    )
+            descriptor = client.job(descriptor["id"])
+        if descriptor["state"] == "failed":
+            raise SpecError(
+                f"submit: job {descriptor['id']} failed: {descriptor['error']}"
+            )
+        if args.json_path is not None:
+            envelope = client.result_bytes(descriptor["id"])
+            if args.json_path == "-":
+                text = envelope.decode("utf-8")
+                # ``print`` re-adds the newline: stdout stays byte-identical
+                # to ``repro run --json -``.
+                return text[:-1] if text.endswith("\n") else text
+            pathlib.Path(args.json_path).write_bytes(envelope)
+            _LOG.info("wrote result envelope to %s", args.json_path)
+    except ServeError as err:
+        raise SpecError(f"submit: {err}") from None
+    except ConnectionError as err:
+        raise SpecError(
+            f"submit: cannot reach server at {args.host}:{args.port} ({err}); "
+            "is `repro serve` running?"
+        ) from None
+    return _format_job(descriptor, f"http://{args.host}:{args.port}")
+
+
+def _store_verify_command(args) -> str:
+    from repro.reporting import render_table
+    from repro.sweep import ResultStore
+
+    store = ResultStore(args.store)
+    report = store.audit(heal=args.heal)
+    if args.json_path is not None and args.json_path != "-":
+        pathlib.Path(args.json_path).write_text(
+            json.dumps(report.to_dict(), indent=2) + "\n"
+        )
+        _LOG.info("wrote audit report to %s", args.json_path)
+    if args.json_path == "-":
+        return json.dumps(report.to_dict(), indent=2)
+    lines = [
+        f"store {report.root}: {report.checked} file(s) checked, "
+        f"{report.valid} valid, {len(report.corrupt)} corrupt, "
+        f"{len(report.orphans)} orphaned"
+    ]
+    if report.issues:
+        rows = [
+            [issue.kind, issue.path, "yes" if issue.healed else "no", issue.detail]
+            for issue in report.issues
+        ]
+        lines.append("")
+        lines.append(render_table(["kind", "path", "healed", "detail"], rows))
+    if report.ok:
+        lines.append("store is clean")
+    elif report.healed:
+        lines.append("issues healed; affected units recompute on next request")
+    text = "\n".join(lines)
+    if not report.ok and not report.healed:
+        # Report-only mode found problems: non-zero exit for scripting.
+        raise SystemExit(text)
+    return text
+
+
+def _store_command(args) -> str:
+    if args.store_command != "verify":  # pragma: no cover - argparse gates
+        raise SpecError(f"unknown store sub-command {args.store_command!r}")
+    return _store_verify_command(args)
+
+
 def _configure_logging(level_name: str) -> None:
     """Send diagnostics to stderr at the requested level.
 
@@ -647,6 +987,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "fig8": _run_fig8,
         "table2": lambda _args: format_table2(),
         "complexity": _run_complexity,
+        "serve": _serve_command,
+        "submit": _submit_command,
+        "store": _store_command,
     }
     try:
         output = handlers[args.command](args)

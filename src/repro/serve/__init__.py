@@ -1,0 +1,36 @@
+"""repro.serve: results-as-a-service over the content-addressed store.
+
+A stdlib-only HTTP service that answers scenario/sweep submissions from
+the sweep engine's warm cache — bit-identical to the CLI envelopes —
+and coalesces concurrent identical submissions onto one computation.
+See ``docs/serving.md`` for the API.
+"""
+
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.jobs import Job, JobPlan, job_key, plan_job
+from repro.serve.quota import QuotaConfig, QuotaRegistry, TokenBucket
+from repro.serve.server import ReproServer, ServerThread
+from repro.serve.service import (
+    QuotaExceeded,
+    ResultService,
+    ServiceConfig,
+    ServiceDraining,
+)
+
+__all__ = [
+    "Job",
+    "JobPlan",
+    "QuotaConfig",
+    "QuotaExceeded",
+    "QuotaRegistry",
+    "ReproServer",
+    "ResultService",
+    "ServeClient",
+    "ServeError",
+    "ServerThread",
+    "ServiceConfig",
+    "ServiceDraining",
+    "TokenBucket",
+    "job_key",
+    "plan_job",
+]

@@ -1,0 +1,189 @@
+"""Thin ``http.client``-based client for the results service.
+
+:class:`ServeClient` speaks the ``/v1`` API with one connection per
+request (the server closes every connection) and no dependencies beyond
+the standard library.  It powers ``repro submit`` and the test suite; the
+method naming mirrors the endpoints::
+
+    client = ServeClient("127.0.0.1", 8737, token="ci")
+    response = client.submit_run(spec_dict)
+    descriptor = client.wait(response["job"]["id"])
+    envelope_bytes = client.result_bytes(descriptor["id"])
+
+``result_bytes`` returns the server's body verbatim — byte-identical to
+``repro run <spec> --json`` for the same spec on the same store.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Dict, Iterator, Optional, Tuple
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(RuntimeError):
+    """A non-2xx API response, carrying the status and server message."""
+
+    def __init__(
+        self, status: int, message: str, retry_after_s: Optional[float] = None
+    ) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+        self.retry_after_s = retry_after_s
+
+
+class ServeClient:
+    """Client for one ``repro serve`` endpoint."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8737,
+        *,
+        token: Optional[str] = None,
+        timeout: float = 300.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.token = token
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _headers(self) -> Dict[str, str]:
+        headers = {"Accept": "application/json"}
+        if self.token:
+            headers["Authorization"] = f"Bearer {self.token}"
+        return headers
+
+    def _request(
+        self, method: str, path: str, payload: Optional[Dict] = None
+    ) -> Tuple[int, bytes]:
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            body = None
+            headers = self._headers()
+            if payload is not None:
+                body = json.dumps(payload).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            data = response.read()
+            if response.status >= 400:
+                raise self._error(response, data)
+            return response.status, data
+        finally:
+            conn.close()
+
+    @staticmethod
+    def _error(response, data: bytes) -> ServeError:
+        message = data.decode("utf-8", "replace").strip()
+        retry_after_s: Optional[float] = None
+        try:
+            detail = json.loads(data)["error"]
+            message = detail["message"]
+            retry_after_s = detail.get("retry_after_s")
+        except (json.JSONDecodeError, KeyError, TypeError):
+            pass
+        if retry_after_s is None:
+            header = response.getheader("Retry-After")
+            if header is not None:
+                try:
+                    retry_after_s = float(header)
+                except ValueError:
+                    pass
+        return ServeError(response.status, message, retry_after_s)
+
+    def _get_json(self, path: str) -> Dict:
+        _, data = self._request("GET", path)
+        return json.loads(data)
+
+    # ------------------------------------------------------------------
+    # API surface
+    # ------------------------------------------------------------------
+    def health(self) -> Dict:
+        """``GET /v1/health``."""
+        return self._get_json("/v1/health")
+
+    def stats(self) -> Dict:
+        """``GET /v1/stats`` — the server's ``repro.serve-stats/v1``."""
+        return self._get_json("/v1/stats")
+
+    def submit_run(self, spec: Dict) -> Dict:
+        """``POST /v1/run`` with one scenario spec dict."""
+        _, data = self._request("POST", "/v1/run", {"spec": spec})
+        return json.loads(data)
+
+    def submit_sweep(self, payload: Dict) -> Dict:
+        """``POST /v1/sweep`` (``{"plan": name}`` or ``{"base": …, "grid": …}``)."""
+        _, data = self._request("POST", "/v1/sweep", payload)
+        return json.loads(data)
+
+    def job(self, job_id: str) -> Dict:
+        """``GET /v1/jobs/<id>`` — the job descriptor."""
+        return self._get_json(f"/v1/jobs/{job_id}")["job"]
+
+    def jobs(self) -> list:
+        """``GET /v1/jobs`` — every remembered job descriptor."""
+        return self._get_json("/v1/jobs")["jobs"]
+
+    def result_bytes(self, job_id: str) -> bytes:
+        """``GET /v1/jobs/<id>/result`` — the envelope, verbatim bytes."""
+        _, data = self._request("GET", f"/v1/jobs/{job_id}/result")
+        return data
+
+    def result(self, job_id: str) -> Dict:
+        """The envelope as a dict (see :meth:`result_bytes` for the bytes)."""
+        return json.loads(self.result_bytes(job_id))
+
+    def events(self, job_id: str) -> Iterator[Tuple[str, Dict]]:
+        """``GET /v1/jobs/<id>/events`` — yield ``(event, payload)`` frames.
+
+        Iterates the server-sent-event stream until the server closes it
+        (after a terminal ``done`` / ``failed`` / ``shutdown`` event).
+        """
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            conn.request("GET", f"/v1/jobs/{job_id}/events", headers=self._headers())
+            response = conn.getresponse()
+            if response.status >= 400:
+                raise self._error(response, response.read())
+            event_name = "message"
+            while True:
+                line = response.readline()
+                if not line:
+                    return
+                text = line.decode("utf-8").rstrip("\n")
+                if text.startswith("event: "):
+                    event_name = text[len("event: ") :]
+                elif text.startswith("data: "):
+                    yield event_name, json.loads(text[len("data: ") :])
+                    event_name = "message"
+        finally:
+            conn.close()
+
+    def wait(self, job_id: str) -> Dict:
+        """Follow the event stream until the job finishes; return its descriptor.
+
+        Raises :class:`ServeError` when the job failed or the server shut
+        down before the job reached a terminal state.
+        """
+        terminal = None
+        for name, _payload in self.events(job_id):
+            if name in ("done", "failed", "shutdown"):
+                terminal = name
+                break
+        descriptor = self.job(job_id)
+        if descriptor["state"] == "done":
+            return descriptor
+        if descriptor["state"] == "failed":
+            raise ServeError(500, f"job {job_id} failed: {descriptor['error']}")
+        raise ServeError(
+            503,
+            f"job {job_id} did not finish (stream ended on "
+            f"{terminal or 'disconnect'}, state {descriptor['state']!r})",
+        )

@@ -1,0 +1,184 @@
+"""Per-client quotas for the results service: token buckets + in-flight caps.
+
+Every client (keyed by API token, see ``Request.client_token``) gets two
+independent limits:
+
+* **max in-flight jobs** — a hard ceiling on simultaneously *computing*
+  jobs.  Jobs served entirely from the cache never count: a warm store can
+  absorb any number of concurrent submissions.
+* **units per minute** — a token bucket charged with the number of work
+  units a job actually has to compute (cache hits are free).  The bucket
+  holds up to one minute of budget as burst and refills continuously, so a
+  client can submit a big sweep instantly after a quiet minute, but a
+  sustained flood throttles to the configured rate.
+
+Rejections carry the seconds until the bucket can cover the request, which
+the HTTP layer surfaces as ``Retry-After`` on the 429.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+__all__ = ["QuotaConfig", "QuotaDecision", "QuotaRegistry", "TokenBucket"]
+
+
+@dataclass(frozen=True)
+class QuotaConfig:
+    """Service-wide quota knobs (``0`` disables the corresponding limit)."""
+
+    #: Simultaneously computing jobs allowed per client token.
+    max_inflight_jobs: int = 8
+    #: Work units a client may *compute* per minute (cache hits are free).
+    units_per_minute: int = 3000
+
+    def __post_init__(self) -> None:
+        if self.max_inflight_jobs < 0:
+            raise ValueError(
+                f"quota: max_inflight_jobs must be >= 0, got {self.max_inflight_jobs}"
+            )
+        if self.units_per_minute < 0:
+            raise ValueError(
+                f"quota: units_per_minute must be >= 0, got {self.units_per_minute}"
+            )
+
+
+@dataclass(frozen=True)
+class QuotaDecision:
+    """Outcome of one admission check."""
+
+    allowed: bool
+    reason: str = ""
+    #: Seconds until a retry could succeed (``None`` when allowed, or when
+    #: retrying cannot help — e.g. a single job bigger than the whole bucket).
+    retry_after_s: Optional[float] = None
+
+
+class TokenBucket:
+    """A continuously refilling token bucket.
+
+    ``capacity`` tokens of burst, ``rate`` tokens/second of refill, and a
+    injectable monotonic clock so tests advance time deterministically.
+    """
+
+    def __init__(
+        self, rate: float, capacity: float, clock: Callable[[], float] = time.monotonic
+    ) -> None:
+        if rate <= 0 or capacity <= 0:
+            raise ValueError(f"token bucket needs positive rate/capacity, got {rate}/{capacity}")
+        self.rate = float(rate)
+        self.capacity = float(capacity)
+        self._clock = clock
+        self._tokens = float(capacity)
+        self._refilled_at = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = max(0.0, now - self._refilled_at)
+        self._tokens = min(self.capacity, self._tokens + elapsed * self.rate)
+        self._refilled_at = now
+
+    @property
+    def tokens(self) -> float:
+        """Currently available tokens (after refill)."""
+        self._refill()
+        return self._tokens
+
+    def try_acquire(self, cost: float) -> Optional[float]:
+        """Take ``cost`` tokens; ``None`` on success, else seconds to wait.
+
+        A cost beyond the bucket's total capacity can never succeed; the
+        wait is still reported honestly (time until the bucket is full).
+        """
+        self._refill()
+        if cost <= self._tokens:
+            self._tokens -= cost
+            return None
+        deficit = min(cost, self.capacity) - self._tokens
+        return deficit / self.rate
+
+
+@dataclass
+class _ClientState:
+    bucket: Optional[TokenBucket]
+    inflight_jobs: int = 0
+    admitted_jobs: int = 0
+    rejected_jobs: int = 0
+    charged_units: float = 0.0
+
+
+@dataclass
+class QuotaRegistry:
+    """Per-token quota state, created lazily on first submission."""
+
+    config: QuotaConfig = field(default_factory=QuotaConfig)
+    clock: Callable[[], float] = time.monotonic
+    _clients: Dict[str, _ClientState] = field(default_factory=dict)
+
+    def _client(self, token: str) -> _ClientState:
+        state = self._clients.get(token)
+        if state is None:
+            bucket = None
+            if self.config.units_per_minute:
+                bucket = TokenBucket(
+                    rate=self.config.units_per_minute / 60.0,
+                    capacity=float(self.config.units_per_minute),
+                    clock=self.clock,
+                )
+            state = self._clients[token] = _ClientState(bucket=bucket)
+        return state
+
+    def admit_job(self, token: str, unit_cost: int) -> QuotaDecision:
+        """Check and charge one job that must compute ``unit_cost`` units.
+
+        On success the client's in-flight count is incremented — the caller
+        must :meth:`release` exactly once when the job finishes (or fails).
+        """
+        state = self._client(token)
+        limit = self.config.max_inflight_jobs
+        if limit and state.inflight_jobs >= limit:
+            state.rejected_jobs += 1
+            return QuotaDecision(
+                allowed=False,
+                reason=(
+                    f"client {token!r} already has {state.inflight_jobs} job(s) "
+                    f"in flight (limit {limit}); wait for one to finish"
+                ),
+                retry_after_s=1.0,
+            )
+        if state.bucket is not None and unit_cost > 0:
+            wait = state.bucket.try_acquire(float(unit_cost))
+            if wait is not None:
+                state.rejected_jobs += 1
+                return QuotaDecision(
+                    allowed=False,
+                    reason=(
+                        f"client {token!r} exceeded {self.config.units_per_minute} "
+                        f"computed unit(s)/minute (job needs {unit_cost})"
+                    ),
+                    retry_after_s=wait,
+                )
+        state.inflight_jobs += 1
+        state.admitted_jobs += 1
+        state.charged_units += unit_cost
+        return QuotaDecision(allowed=True)
+
+    def release(self, token: str) -> None:
+        """Return one in-flight slot to ``token`` (job finished or failed)."""
+        state = self._clients.get(token)
+        if state is not None and state.inflight_jobs > 0:
+            state.inflight_jobs -= 1
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Per-client accounting for the stats endpoint (sorted by token)."""
+        return {
+            token: {
+                "inflight_jobs": state.inflight_jobs,
+                "admitted_jobs": state.admitted_jobs,
+                "rejected_jobs": state.rejected_jobs,
+                "charged_units": state.charged_units,
+            }
+            for token, state in sorted(self._clients.items())
+        }

@@ -34,6 +34,7 @@ from repro.sweep.engine import (
     PointOutcome,
     SweepResult,
     SweepUnit,
+    assemble_point,
     format_store_summary,
     format_sweep,
     plan_units,
@@ -47,10 +48,20 @@ from repro.sweep.plan import (
     split_grid_values,
 )
 from repro.sweep.presets import builtin_plans, get_plan, list_plans
-from repro.sweep.store import ENTRY_SCHEMA, STORE_SCHEMA, ResultStore, StoreError
+from repro.sweep.store import (
+    ENTRY_SCHEMA,
+    STORE_SCHEMA,
+    AuditIssue,
+    AuditReport,
+    ResultStore,
+    StoreError,
+)
 from repro.sweep.worker import execute_unit
 
 __all__ = [
+    "AuditIssue",
+    "AuditReport",
+    "assemble_point",
     "SweepAxis",
     "SweepPlan",
     "SweepPoint",

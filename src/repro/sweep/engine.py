@@ -42,6 +42,7 @@ __all__ = [
     "SweepUnit",
     "PointOutcome",
     "SweepResult",
+    "assemble_point",
     "plan_units",
     "run_sweep",
     "format_sweep",
@@ -304,7 +305,7 @@ def run_sweep(
             unit_results = [
                 ExperimentResult.from_dict(results[key_hash]) for key_hash in hashes
             ]
-            merged = _assemble_point(point, units, unit_results)
+            merged = assemble_point(point, units, unit_results)
             outcomes.append(
                 PointOutcome(
                     point=point,
@@ -333,10 +334,15 @@ def run_sweep(
     )
 
 
-def _assemble_point(
+def assemble_point(
     point: SweepPoint, units: List[SweepUnit], unit_results: List[ExperimentResult]
 ) -> ExperimentResult:
-    """Rebuild one point's scenario envelope from its unit envelopes."""
+    """Rebuild one point's scenario envelope from its unit envelopes.
+
+    Public because the results service reassembles envelopes the same way;
+    keeping one code path is what makes served results bit-identical to
+    the CLI's.
+    """
     if units[0].replication is None:
         result = unit_results[0]
         # Echo the point's actual spec (the unit form normalizes jobs).

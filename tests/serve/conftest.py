@@ -1,0 +1,22 @@
+"""Shared fixtures for the serve tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.spec import apply_overrides, get_scenario, run_scenario_replication
+
+
+@pytest.fixture(scope="session")
+def tiny_spec():
+    """fig7-smoke shrunk to one 5-round replication: a single work unit."""
+    return apply_overrides(
+        get_scenario("fig7-smoke"),
+        {"schedule.num_rounds": 5, "replication.replications": 1},
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_result(tiny_spec):
+    """The real unit envelope of ``tiny_spec``, computed once per session."""
+    return run_scenario_replication(tiny_spec, 0).to_dict()

@@ -1,0 +1,44 @@
+"""Instrumented unit runners shared across the serve tests."""
+
+from __future__ import annotations
+
+import copy
+import threading
+
+
+class CountingRunner:
+    """A unit runner that returns a canned envelope and counts invocations.
+
+    Stands in for :func:`repro.sweep.worker.execute_unit` so service tests
+    assert *exactly* how much simulation work happened (zero on a warm
+    cache, once under coalescing) without timing-sensitive sleeps.
+    """
+
+    def __init__(self, result):
+        self.result = result
+        self._calls = 0
+        self._lock = threading.Lock()
+
+    @property
+    def calls(self) -> int:
+        with self._lock:
+            return self._calls
+
+    def __call__(self, payload):
+        with self._lock:
+            self._calls += 1
+        return copy.deepcopy(self.result)
+
+
+class GatedRunner(CountingRunner):
+    """A counting runner that blocks until the test opens its gate."""
+
+    def __init__(self, result):
+        super().__init__(result)
+        self.gate = threading.Event()
+
+    def __call__(self, payload):
+        started = super().__call__(payload)
+        if not self.gate.wait(timeout=60):
+            raise TimeoutError("GatedRunner gate never opened")
+        return started

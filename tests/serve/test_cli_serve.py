@@ -1,0 +1,144 @@
+"""CLI verbs riding on the serve subsystem: ``submit`` and ``store verify``."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.serve import ServerThread, ServiceConfig
+from repro.sweep import ResultStore, run_sweep
+from repro.sweep.plan import SweepPlan
+
+SHRINK = ["--set", "schedule.num_rounds=5", "--set", "replication.replications=1"]
+
+
+@pytest.fixture()
+def server(tmp_path):
+    config = ServiceConfig(store=str(tmp_path / "store"), backend="thread", jobs=2)
+    with ServerThread(config) as srv:
+        yield srv
+
+
+class TestParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 8737
+        assert args.backend == "process"
+        assert args.jobs == 2
+
+    def test_submit_options(self):
+        args = build_parser().parse_args(
+            ["submit", "fig7-smoke", "--grid", "seed=1,2", "--wait", "--json", "-"]
+        )
+        assert args.target == "fig7-smoke"
+        assert args.grid == ["seed=1,2"]
+        assert args.json_path == "-"
+
+    def test_store_verify_options(self):
+        args = build_parser().parse_args(
+            ["store", "verify", "--store", "x", "--heal"]
+        )
+        assert args.store_command == "verify"
+        assert args.heal is True
+
+
+class TestSubmit:
+    def test_submit_json_matches_run_json(self, server, capsys):
+        """``submit --json -`` writes the same bytes as ``run --json -``."""
+        argv = ["fig7-smoke", *SHRINK, "--json", "-"]
+        assert main(["run", *argv]) == 0
+        direct = capsys.readouterr().out
+        assert (
+            main(["submit", *argv, "--port", str(server.port)]) == 0
+        )
+        served = capsys.readouterr().out
+
+        def stable(text):
+            return [line for line in text.splitlines() if "wall_clock" not in line]
+
+        assert stable(served) == stable(direct)
+        # Resubmitting is a pure cache replay of the exact same bytes.
+        assert main(["submit", *argv, "--port", str(server.port)]) == 0
+        assert capsys.readouterr().out == served
+
+    def test_submit_wait_prints_descriptor(self, server, capsys):
+        argv = ["submit", "fig7-smoke", *SHRINK, "--wait", "--port", str(server.port)]
+        assert main(argv) == 0
+        output = capsys.readouterr().out
+        assert "done" in output
+        assert "1 computed" in output
+
+    def test_submit_grid_runs_a_sweep(self, server, capsys):
+        argv = [
+            "submit", "fig7-smoke", *SHRINK, "--grid", "seed=3,4",
+            "--wait", "--port", str(server.port),
+        ]
+        assert main(argv) == 0
+        output = capsys.readouterr().out
+        assert "sweep" in output
+        assert "2 computed" in output
+
+    def test_builtin_plan_rejects_scenario_flags(self, server):
+        argv = [
+            "submit", "byzantine-sweep", "--grid", "seed=1,2",
+            "--port", str(server.port),
+        ]
+        with pytest.raises(SystemExit, match="built-in preset"):
+            main(argv)
+
+    def test_unreachable_server_is_a_clean_error(self, tmp_path):
+        argv = ["submit", "fig7-smoke", *SHRINK, "--port", "1"]
+        with pytest.raises(SystemExit, match="is `repro serve` running"):
+            main(argv)
+
+
+class TestStoreVerify:
+    def _seed_store(self, tmp_path):
+        from repro.spec import apply_overrides, get_scenario
+
+        base = apply_overrides(
+            get_scenario("fig7-smoke"),
+            {"schedule.num_rounds": 5, "replication.replications": 1},
+        )
+        plan = SweepPlan.from_grid("seeded", base, {"seed": [1, 2]})
+        run_sweep(plan, store=str(tmp_path / "store"))
+        return ResultStore(tmp_path / "store")
+
+    def test_clean_store_passes(self, tmp_path, capsys):
+        store = self._seed_store(tmp_path)
+        assert main(["store", "verify", "--store", str(store.root)]) == 0
+        output = capsys.readouterr().out
+        assert "store is clean" in output
+        assert "2 valid" in output
+
+    def test_corruption_reports_and_exits_nonzero(self, tmp_path, capsys):
+        store = self._seed_store(tmp_path)
+        victim = store.path_for(store.hashes()[0])
+        victim.write_text(victim.read_text()[:25])
+        (store.root / "objects" / "notes.txt").write_text("stray\n")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["store", "verify", "--store", str(store.root)])
+        text = str(excinfo.value)
+        assert "1 corrupt" in text
+        assert "1 orphaned" in text
+
+    def test_heal_prunes_and_next_verify_is_clean(self, tmp_path, capsys):
+        store = self._seed_store(tmp_path)
+        victim = store.path_for(store.hashes()[0])
+        victim.write_text("{")
+        assert main(["store", "verify", "--store", str(store.root), "--heal"]) == 0
+        output = capsys.readouterr().out
+        assert "issues healed" in output
+        assert not victim.exists()
+        assert main(["store", "verify", "--store", str(store.root)]) == 0
+        assert "store is clean" in capsys.readouterr().out
+
+    def test_json_report(self, tmp_path, capsys):
+        store = self._seed_store(tmp_path)
+        assert main(
+            ["store", "verify", "--store", str(store.root), "--json", "-"]
+        ) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["schema"] == "repro.store-audit/v1"
+        assert report["valid"] == 2
+        assert report["issues"] == []

@@ -1,0 +1,131 @@
+"""Per-client quotas: token-bucket math, in-flight caps, accounting."""
+
+import pytest
+
+from repro.serve import QuotaConfig, QuotaRegistry, TokenBucket
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_starts_full_and_spends_down(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, capacity=10.0, clock=clock)
+        assert bucket.try_acquire(4) is None
+        assert bucket.try_acquire(6) is None
+        wait = bucket.try_acquire(1)
+        assert wait == pytest.approx(1.0)
+
+    def test_refills_continuously_at_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, capacity=10.0, clock=clock)
+        assert bucket.try_acquire(10) is None
+        clock.advance(3.0)  # 6 tokens back
+        assert bucket.tokens == pytest.approx(6.0)
+        assert bucket.try_acquire(6) is None
+        assert bucket.try_acquire(1) is not None
+
+    def test_never_exceeds_capacity(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, capacity=5.0, clock=clock)
+        clock.advance(1000.0)
+        assert bucket.tokens == pytest.approx(5.0)
+
+    def test_wait_estimate_covers_the_deficit(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, capacity=60.0, clock=clock)
+        assert bucket.try_acquire(60) is None
+        wait = bucket.try_acquire(30)
+        assert wait == pytest.approx(30.0)
+        clock.advance(wait)
+        assert bucket.try_acquire(30) is None
+
+    def test_oversized_cost_reports_time_to_full_not_infinity(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, capacity=10.0, clock=clock)
+        bucket.try_acquire(10)
+        wait = bucket.try_acquire(500)
+        assert wait == pytest.approx(10.0)
+
+    def test_rejects_non_positive_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0, capacity=10)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1, capacity=0)
+
+
+class TestQuotaConfig:
+    def test_negative_limits_rejected(self):
+        with pytest.raises(ValueError):
+            QuotaConfig(max_inflight_jobs=-1)
+        with pytest.raises(ValueError):
+            QuotaConfig(units_per_minute=-5)
+
+    def test_zero_disables(self):
+        registry = QuotaRegistry(config=QuotaConfig(0, 0), clock=FakeClock())
+        for _ in range(50):
+            assert registry.admit_job("greedy", 10_000).allowed
+
+
+class TestQuotaRegistry:
+    def _registry(self, **kwargs):
+        clock = FakeClock()
+        config = QuotaConfig(**kwargs)
+        return QuotaRegistry(config=config, clock=clock), clock
+
+    def test_inflight_cap_rejects_with_retry_after(self):
+        registry, _ = self._registry(max_inflight_jobs=2, units_per_minute=0)
+        assert registry.admit_job("a", 1).allowed
+        assert registry.admit_job("a", 1).allowed
+        decision = registry.admit_job("a", 1)
+        assert not decision.allowed
+        assert "in flight" in decision.reason
+        assert decision.retry_after_s is not None
+
+    def test_release_frees_an_inflight_slot(self):
+        registry, _ = self._registry(max_inflight_jobs=1, units_per_minute=0)
+        assert registry.admit_job("a", 1).allowed
+        assert not registry.admit_job("a", 1).allowed
+        registry.release("a")
+        assert registry.admit_job("a", 1).allowed
+
+    def test_unit_budget_rejects_and_names_the_rate(self):
+        registry, clock = self._registry(max_inflight_jobs=0, units_per_minute=60)
+        assert registry.admit_job("a", 60).allowed
+        decision = registry.admit_job("a", 30)
+        assert not decision.allowed
+        assert "60" in decision.reason
+        assert decision.retry_after_s == pytest.approx(30.0)
+        clock.advance(30.0)
+        assert registry.admit_job("a", 30).allowed
+
+    def test_clients_have_independent_budgets(self):
+        registry, _ = self._registry(max_inflight_jobs=1, units_per_minute=0)
+        assert registry.admit_job("a", 1).allowed
+        assert registry.admit_job("b", 1).allowed
+        assert not registry.admit_job("a", 1).allowed
+
+    def test_snapshot_reports_accounting_sorted_by_token(self):
+        registry, _ = self._registry(max_inflight_jobs=1, units_per_minute=0)
+        registry.admit_job("beta", 3)
+        registry.admit_job("alpha", 2)
+        registry.admit_job("alpha", 2)  # rejected: inflight cap
+        snapshot = registry.snapshot()
+        assert list(snapshot) == ["alpha", "beta"]
+        assert snapshot["alpha"]["rejected_jobs"] == 1
+        assert snapshot["alpha"]["charged_units"] == 2
+        assert snapshot["beta"]["inflight_jobs"] == 1
+
+    def test_release_of_unknown_token_is_a_no_op(self):
+        registry, _ = self._registry()
+        registry.release("ghost")
+        assert registry.snapshot() == {}

@@ -154,3 +154,138 @@ class TestEngineVersioning:
         before = canon.unit_hash(spec, 0)
         monkeypatch.setattr(canon, "ENGINE_VERSION", canon.ENGINE_VERSION + 1)
         assert canon.unit_hash(spec, 0) != before
+
+
+class TestAudit:
+    def test_clean_store_audits_clean(self, tmp_path, unit):
+        key_hash, key, result = unit
+        store = ResultStore(tmp_path / "store")
+        store.put(key_hash, key, result)
+        report = store.audit()
+        assert report.ok
+        assert report.valid == 1
+        assert report.checked == 1
+        assert report.issues == []
+
+    def test_missing_root_is_vacuously_clean(self, tmp_path):
+        report = ResultStore(tmp_path / "never-created").audit()
+        assert report.ok
+        assert report.checked == 0
+
+    def test_audit_finds_every_issue_kind(self, tmp_path, unit):
+        key_hash, key, result = unit
+        store = ResultStore(tmp_path / "store")
+        path = store.put(key_hash, key, result)
+        path.write_text(path.read_text()[:40])  # corrupt: torn write
+        (path.parent / "leftover.tmp").write_text("partial")  # orphan
+        misfiled = store.objects_dir / "zz"
+        misfiled.mkdir()
+        (misfiled / path.name).write_text("{}")  # orphan: wrong fan-out dir
+        store.marker_path.write_text("not json")  # broken marker
+        report = store.audit()
+        assert not report.ok
+        assert len(report.corrupt) == 1
+        assert len(report.orphans) == 2
+        assert any(issue.kind == "marker" for issue in report.issues)
+
+    def test_heal_prunes_and_rewrites_the_marker(self, tmp_path, unit):
+        key_hash, key, result = unit
+        store = ResultStore(tmp_path / "store")
+        path = store.put(key_hash, key, result)
+        path.write_text("{")
+        (path.parent / "junk.tmp").write_text("x")
+        store.marker_path.unlink()
+        healed = store.audit(heal=True)
+        assert healed.healed
+        assert all(issue.healed for issue in healed.issues)
+        assert not path.exists()
+        assert json.loads(store.marker_path.read_text())["schema"] == (
+            "repro.sweep-store/v1"
+        )
+        assert store.audit().ok
+
+    def test_report_dict_is_json_ready(self, tmp_path, unit):
+        key_hash, key, result = unit
+        store = ResultStore(tmp_path / "store")
+        store.put(key_hash, key, result)
+        payload = store.audit().to_dict()
+        assert payload["schema"] == "repro.store-audit/v1"
+        json.dumps(payload)
+
+
+class TestConcurrentWriters:
+    """Multiprocess stress: many writers, one key, readers never see torn data."""
+
+    WRITER = """
+import json, sys
+data = json.load(open(sys.argv[1]))
+from repro.sweep import ResultStore
+store = ResultStore(sys.argv[2])
+for _ in range(int(sys.argv[3])):
+    store.put(data["hash"], data["key"], data["result"])
+"""
+
+    READER = """
+import json, sys
+data = json.load(open(sys.argv[1]))
+from repro.sweep import ResultStore
+store = ResultStore(sys.argv[2])
+hits = 0
+for _ in range(int(sys.argv[3])):
+    entry = store.load(data["hash"], strict=True)  # raises on any torn entry
+    if entry is not None:
+        assert entry == data["result"], "reader saw a mismatched entry"
+        hits += 1
+print(hits)
+"""
+
+    def test_parallel_writers_and_strict_readers(self, tmp_path, unit):
+        import os
+        import pathlib
+        import subprocess
+        import sys
+
+        import repro
+
+        key_hash, key, result = unit
+        root = tmp_path / "store"
+        payload = tmp_path / "unit.json"
+        payload.write_text(
+            json.dumps({"hash": key_hash, "key": key, "result": result})
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(pathlib.Path(repro.__file__).parents[1])
+
+        def spawn(script, iterations):
+            return subprocess.Popen(
+                [sys.executable, "-c", script, str(payload), str(root), iterations],
+                env=env,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+            )
+
+        # Writers race on the marker, the fan-out dir, and the object file
+        # itself while strict readers poll the same key throughout.
+        writers = [spawn(self.WRITER, "50") for _ in range(4)]
+        readers = [spawn(self.READER, "300") for _ in range(2)]
+        failures = []
+        hits = 0
+        for proc in writers + readers:
+            out, err = proc.communicate(timeout=120)
+            if proc.returncode != 0:
+                failures.append(err)
+            elif proc in readers:
+                hits += int(out)
+        assert not failures, "\n".join(failures)
+        assert hits > 0  # the readers did overlap live writes
+        # Post-conditions: exactly one valid object, no temp debris, clean audit.
+        store = ResultStore(root)
+        assert store.hashes() == [key_hash]
+        assert store.load(key_hash, strict=True) == result
+        assert list(root.rglob("*.tmp")) == []
+        report = store.audit()
+        assert report.ok, [issue.detail for issue in report.issues]
+        assert json.loads(store.marker_path.read_text())["schema"] == (
+            "repro.sweep-store/v1"
+        )

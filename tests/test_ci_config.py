@@ -51,6 +51,7 @@ class TestWorkflow:
             "faults-smoke",
             "scale-smoke",
             "obs-smoke",
+            "serve-smoke",
             "docs",
         }
 
@@ -117,7 +118,7 @@ class TestWorkflow:
         assert baseline["schema"] == "repro.bench-trend/v1"
         groups = {record["group"] for record in baseline["benchmarks"]}
         # The gated benchmark groups must exist in the baseline.
-        assert {"solvers", "policies", "macro", "obs"} <= groups
+        assert {"solvers", "policies", "macro", "obs", "serve"} <= groups
 
     def test_macro_baseline_covers_both_scales(self):
         baseline = json.loads(
@@ -174,6 +175,39 @@ class TestWorkflow:
             "repro.benchtrend check" in command and "--group obs" in command
             for command in commands
         ), "benchmark-trend must gate the observability microbenchmarks"
+
+    def test_benchmark_trend_gates_the_serve_group(self):
+        trend = _load_workflow()["jobs"]["benchmark-trend"]
+        commands = [step.get("run", "") for step in trend["steps"]]
+        assert any(
+            "repro.benchtrend check" in command and "--group serve" in command
+            for command in commands
+        ), "benchmark-trend must gate the serving-layer benchmarks"
+
+    def test_serve_smoke_diffs_replays_streams_and_drains(self):
+        smoke = _load_workflow()["jobs"]["serve-smoke"]
+        commands = [step.get("run", "") for step in smoke["steps"]]
+        assert any(
+            "repro serve" in command and "--trace" in command
+            for command in commands
+        ), "serve-smoke must start a traced server"
+        assert any(
+            "repro submit fig6-smoke" in command
+            and "served envelope differs" in command
+            for command in commands
+        ), "serve-smoke must diff the served envelope against repro run"
+        assert any(
+            'counters["serve.units.computed"] == 1' in command
+            for command in commands
+        ), "serve-smoke must assert the resubmission did zero new work"
+        assert any(
+            "/events" in command and "event: done" in command
+            for command in commands
+        ), "serve-smoke must exercise one SSE streaming request"
+        assert any(
+            "kill -INT" in command and "read_trace" in command
+            for command in commands
+        ), "serve-smoke must drain gracefully and validate the server trace"
 
     def test_docs_job_runs_docscheck(self):
         docs = _load_workflow()["jobs"]["docs"]
